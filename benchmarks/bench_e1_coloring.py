@@ -1,0 +1,97 @@
+"""Experiment E1 — the §4.2.1 colouring algorithms.
+
+Verifies the paper's worked example as part of the bench and measures
+streaming throughput of both algorithms over synthetic traces from 1k to
+100k events — the colourizer must comfortably outrun any realistic event
+stream, because the render queue (E5), not the algorithm, is the paper's
+bottleneck.
+"""
+
+import os
+
+import pytest
+
+from repro.core.coloring import (
+    PairSequenceColorizer,
+    ThresholdColorizer,
+    color_buffer,
+)
+from repro.profiler.events import TraceEvent
+from repro.viz.color import RED
+from repro.workloads import synthetic_trace
+
+
+def paper_example():
+    pairs = [("start", 1), ("done", 1), ("start", 2), ("done", 2),
+             ("start", 3), ("start", 4)]
+    return [
+        TraceEvent(event=i, clock_usec=i * 10, status=status, pc=pc,
+                   thread=0, usec=5 if status == "done" else 0,
+                   rss_bytes=0, stmt="X := a.b();")
+        for i, (status, pc) in enumerate(pairs)
+    ]
+
+
+def test_e1_paper_worked_example(benchmark):
+    events = paper_example()
+    actions = benchmark(color_buffer, events)
+    assert [(a.pc, a.color) for a in actions] == [(3, RED)]
+
+
+@pytest.mark.parametrize("events_count", [1_000, 10_000, 100_000])
+def test_e1_pair_sequence_throughput(benchmark, events_count, artifacts):
+    chains = max(2, events_count // 12)
+    events = synthetic_trace(chains=chains, chain_length=4, workers=4)
+    events = (events * (events_count // len(events) + 1))[:events_count]
+
+    def stream():
+        colorizer = PairSequenceColorizer()
+        total = 0
+        for event in events:
+            total += len(colorizer.push(event))
+        return total
+
+    actions = benchmark(stream)
+    with open(os.path.join(artifacts, "e1_coloring.txt"), "a") as f:
+        f.write(f"pair_sequence events={events_count} actions={actions}\n")
+
+
+@pytest.mark.parametrize("events_count", [1_000, 100_000])
+def test_e1_threshold_throughput(benchmark, events_count):
+    events = synthetic_trace(chains=200, chain_length=4, workers=4,
+                             long_fraction=0.1)
+    events = (events * (events_count // len(events) + 1))[:events_count]
+
+    def stream():
+        colorizer = ThresholdColorizer(threshold_usec=1_000)
+        total = 0
+        for event in events:
+            total += len(colorizer.push(event))
+        return total
+
+    actions = benchmark(stream)
+    assert actions > 0
+
+
+def test_e1_long_instructions_more_likely_red(benchmark, artifacts):
+    """The pair-sequence algorithm detects *overtaken* instructions; in
+    a concurrent trace, long instructions are overtaken far more often
+    than short ones — P(RED | long) must beat P(RED | short)."""
+
+    def red_rates():
+        events = synthetic_trace(chains=100, chain_length=4, workers=4,
+                                 long_fraction=0.1, seed=9)
+        reds = {a.pc for a in color_buffer(events) if a.color == RED}
+        done = [e for e in events if e.status == "done"]
+        cutoff = 10_000  # well above the base cost, below long_usec
+        long_pcs = {e.pc for e in done if e.usec >= cutoff}
+        short_pcs = {e.pc for e in done if e.usec < cutoff}
+        p_long = len(reds & long_pcs) / max(len(long_pcs), 1)
+        p_short = len(reds & short_pcs) / max(len(short_pcs), 1)
+        return p_long, p_short
+
+    p_long, p_short = benchmark(red_rates)
+    with open(os.path.join(artifacts, "e1_coloring.txt"), "a") as f:
+        f.write(f"P(red|long)={p_long:.2f} P(red|short)={p_short:.2f}\n")
+    assert p_long > p_short
+    assert p_long > 0.9  # long instructions essentially always flagged

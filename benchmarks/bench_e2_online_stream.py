@@ -1,0 +1,101 @@
+"""Experiment E2 — online streaming: UDP trace delivery and filtering.
+
+Measures the profiler→UDP→textual-Stethoscope path: events/second
+through a real socket, the effect of server-side filter selectivity, and
+multi-server fan-in — the paper's "flexible options for filtering of
+execution traces" and distributed tracing claims.
+"""
+
+import os
+
+from repro.core.textual import TextualStethoscope
+from repro.profiler import EventFilter, Profiler, UdpEmitter, format_event
+from repro.profiler.events import TraceEvent
+from repro.workloads import synthetic_trace
+
+
+def make_events(count):
+    events = synthetic_trace(chains=max(2, count // 12), chain_length=4)
+    return (events * (count // len(events) + 1))[:count]
+
+
+def test_e2_udp_roundtrip_throughput(benchmark, artifacts):
+    events = make_events(2_000)
+    lines = [format_event(e) for e in events]
+
+    def ship():
+        textual = TextualStethoscope()
+        connection = textual.connect("bench")
+        emitter = UdpEmitter(port=connection.port)
+        for line in lines:
+            emitter.send_line(line)
+        emitter.send_end()
+        textual.drain_until_ended(max_rounds=2000, timeout=0.02)
+        received = len(connection.events)
+        emitter.close()
+        textual.close()
+        return received
+
+    received = benchmark(ship)
+    with open(os.path.join(artifacts, "e2_stream.txt"), "a") as f:
+        f.write(f"udp roundtrip: sent={len(lines)} received={received}\n")
+    # UDP may drop under pressure; the OS buffer makes local loss rare
+    assert received > len(lines) * 0.8
+
+
+def test_e2_server_side_filter_reduces_traffic(benchmark, artifacts):
+    events = make_events(2_000)
+
+    def filtered_volume():
+        profiler = Profiler(EventFilter(statuses={"done"}),
+                            keep_events=False)
+        shipped = []
+        profiler.add_sink(shipped.append)
+        for event in events:
+            profiler.emit(event)
+        return len(shipped)
+
+    shipped = benchmark(filtered_volume)
+    assert shipped == len(events) // 2
+    with open(os.path.join(artifacts, "e2_stream.txt"), "a") as f:
+        f.write(f"filter statuses={{done}}: {len(events)} -> {shipped}\n")
+
+
+def test_e2_min_usec_filter_selectivity(benchmark):
+    events = make_events(5_000)
+
+    def volume(min_usec):
+        event_filter = EventFilter(min_usec=min_usec)
+        return sum(1 for e in events if event_filter.matches(e))
+
+    everything = volume(0)
+    costly_only = benchmark(volume, 10_000)
+    assert costly_only < everything
+
+
+def test_e2_multi_server_fanin(benchmark):
+    """Two emitters, two connections, merged by clock."""
+    events = make_events(500)
+    lines = [format_event(e) for e in events]
+
+    def fanin():
+        textual = TextualStethoscope()
+        conn_a = textual.connect("a")
+        conn_b = textual.connect("b")
+        emitter_a = UdpEmitter(port=conn_a.port)
+        emitter_b = UdpEmitter(port=conn_b.port)
+        for line in lines:
+            emitter_a.send_line(line)
+            emitter_b.send_line(line)
+        emitter_a.send_end()
+        emitter_b.send_end()
+        textual.drain_until_ended(max_rounds=2000, timeout=0.02)
+        merged = textual.merged_events()
+        emitter_a.close()
+        emitter_b.close()
+        textual.close()
+        return merged
+
+    merged = benchmark(fanin)
+    clocks = [e.clock_usec for e in merged]
+    assert clocks == sorted(clocks)

@@ -1,0 +1,44 @@
+"""Experiment F1 — Figure 1: the MAL plan of the paper's demo query.
+
+Regenerates the artefact (the plan text for ``select l_tax from lineitem
+where l_partkey = 1``) and measures SQL→algebra→MAL compilation plus
+optimizer pipeline time, which bounds how quickly a plan can be handed to
+the Stethoscope.
+"""
+
+import os
+
+from repro.mal.printer import format_program
+from repro.tpch import query_sql
+
+DEMO_SQL = query_sql("demo")
+
+
+def test_fig1_compile_demo_query(benchmark, tpch_db_small, artifacts):
+    program = benchmark(tpch_db_small.compile, DEMO_SQL)
+    text = format_program(program)
+    with open(os.path.join(artifacts, "fig1_mal_plan.txt"), "w") as handle:
+        handle.write(text + "\n")
+    # the artefact must show the Figure-1 essentials
+    assert "sql.bind" in text and "algebra.select" in text
+    assert "l_partkey" in text and "l_tax" in text
+    assert text.startswith("function user.")
+
+
+def test_fig1_compile_unoptimized(benchmark, tpch_db_small):
+    compiler = tpch_db_small.compiler
+    program = benchmark(compiler.compile_text, DEMO_SQL)
+    assert len(program) > 5
+
+
+def test_fig1_plan_print_roundtrip(benchmark, tpch_db_small):
+    from repro.mal.parser import parse_program
+
+    program = tpch_db_small.compile(DEMO_SQL)
+    text = format_program(program)
+
+    def roundtrip():
+        return parse_program(text)
+
+    again = benchmark(roundtrip)
+    assert len(again) == len(program)

@@ -1,0 +1,61 @@
+"""Experiment F3 — Figure 3: the MAL execution trace.
+
+Regenerates a Figure-3-style trace for the demo query (start/done event
+pairs with pc, thread, usec, rss and the statement text) and measures the
+profiler's cost: query execution with and without profiling, plus trace
+format/parse throughput.
+"""
+
+import os
+
+from repro.profiler import Profiler, format_event, parse_event
+from repro.tpch import query_sql
+
+DEMO_SQL = query_sql("demo")
+
+
+def test_fig3_trace_artifact(benchmark, tpch_db, artifacts):
+    profiler = Profiler()
+
+    def run():
+        profiler.reset()
+        return tpch_db.execute(DEMO_SQL, listener=profiler)
+
+    outcome = benchmark(run)
+    assert outcome.rows is not None
+    lines = [format_event(e) for e in profiler.events]
+    with open(os.path.join(artifacts, "fig3_trace.txt"), "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    # Figure-3 structure: paired events carrying pc and stmt
+    statuses = [e.status for e in profiler.events]
+    assert statuses.count("start") == statuses.count("done")
+    assert all('"' in line for line in lines)
+
+
+def test_fig3_execution_without_profiler(benchmark, tpch_db):
+    outcome = benchmark(tpch_db.execute, DEMO_SQL)
+    assert outcome.kind == "rows"
+
+
+def test_fig3_event_format_throughput(benchmark, tpch_db):
+    profiler = Profiler()
+    tpch_db.execute(query_sql("q1"), listener=profiler)
+    events = profiler.events
+
+    def format_all():
+        return [format_event(e) for e in events]
+
+    lines = benchmark(format_all)
+    assert len(lines) == len(events)
+
+
+def test_fig3_event_parse_throughput(benchmark, tpch_db):
+    profiler = Profiler()
+    tpch_db.execute(query_sql("q1"), listener=profiler)
+    lines = [format_event(e) for e in profiler.events]
+
+    def parse_all():
+        return [parse_event(line) for line in lines]
+
+    events = benchmark(parse_all)
+    assert events == profiler.events

@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's figures or demonstrated
+claims (see DESIGN.md's experiment index) and writes its artefact into
+``benchmarks/artifacts/``.
+"""
+
+import os
+
+import pytest
+
+from repro.server import Database
+from repro.tpch import populate
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Directory where benchmark artefacts (plans, traces, SVGs) land."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A populated TPC-H database with parallelism enabled."""
+    db = Database(workers=4, mitosis_threshold=400)
+    populate(db.catalog, scale_factor=0.2, seed=7)
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_db_small():
+    """A small TPC-H database for compile-bound benchmarks."""
+    db = Database(workers=4, mitosis_threshold=400)
+    populate(db.catalog, scale_factor=0.05, seed=7)
+    return db

@@ -1,0 +1,61 @@
+"""A textual kernel-inspection session: EXPLAIN, TRACE and the mdb.
+
+The paper (§2) notes that "MonetDB provides a GDB-like MAL debugger for
+runtime inspection" and positions Stethoscope as the visual improvement
+over it.  This example shows the substrate tools the visual tool builds
+on: EXPLAIN and TRACE statement modifiers, and an interactive debugger
+walk through the Figure-1 query — breakpoints, stepping, and BAT
+inspection.
+
+Run:  python examples/mal_debugger_session.py
+"""
+
+from repro import Database, populate, query_sql
+from repro.mal.debugger import MalDebugger
+
+
+def main() -> None:
+    db = Database(workers=2, mitosis_threshold=10_000)  # keep plans simple
+    populate(db.catalog, scale_factor=0.05, seed=3)
+    sql = query_sql("demo")
+
+    # --- EXPLAIN: the optimized plan as a result set ---------------------
+    print("=== EXPLAIN", sql, "===")
+    outcome = db.execute(f"explain {sql}")
+    for (line,) in outcome.rows:
+        print(line)
+
+    # --- TRACE: execute and return the profiler events -------------------
+    print("\n=== TRACE (first 6 events) ===")
+    outcome = db.execute(f"trace {sql}")
+    print("\t".join(outcome.columns))
+    for row in outcome.rows[:6]:
+        print("\t".join(str(v) for v in row))
+
+    # --- mdb: breakpoints, stepping, inspection ---------------------------
+    print("\n=== mdb session ===")
+    program = db.compile(sql)
+    mdb = MalDebugger(db.catalog, program)
+    mdb.break_at("algebra.leftjoin")
+    stopped_at = mdb.cont()
+    print(f"breakpoint hit at pc={stopped_at}")
+    print(mdb.where())
+    print("\n-- source listing --")
+    print(mdb.list_source(context=2))
+    join_instr = mdb.current_instruction
+    print("\n-- inspecting the join's inputs --")
+    for arg in join_instr.args:
+        print(mdb.inspect(arg.name, max_rows=4))
+    print("\n-- step over the join --")
+    mdb.step()
+    print(mdb.inspect(join_instr.results[0], max_rows=4))
+    print("\n-- live variables --")
+    for name, description in sorted(mdb.variables().items()):
+        print(f"  {name:<6} {description}")
+    mdb.run_to_end()
+    result = mdb.ctx.result_sets[0]
+    print(f"\nfinished: {result.row_count()} result rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Stethoscope: a platform for interactive visual analysis of query
+execution plans — a full Python reproduction of Gawade & Kersten
+(VLDB 2012), including every substrate the paper's tool builds on.
+
+Quickstart::
+
+    from repro import Database, Profiler, Stethoscope, plan_to_dot, populate
+
+    db = Database()
+    populate(db.catalog, scale_factor=0.1)         # TPC-H data
+    profiler = Profiler()
+    outcome = db.execute(
+        "select l_tax from lineitem where l_partkey = 1",  # paper Fig. 1
+        listener=profiler,
+    )
+    session = Stethoscope.offline_from_memory(
+        plan_to_dot(outcome.program), profiler.events
+    )
+    session.replay.run_to_end()
+    print(session.render_ascii())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the Stethoscope itself (mapping, colouring,
+  replay, online monitoring, analysis, pruning, micro-analysis);
+* :mod:`repro.storage`, :mod:`repro.mal`, :mod:`repro.sqlfe`,
+  :mod:`repro.server` — the MonetDB-like engine;
+* :mod:`repro.profiler` — trace events, filters, UDP streaming;
+* :mod:`repro.dot`, :mod:`repro.layout`, :mod:`repro.svg` — the
+  GraphViz-like plan drawing pipeline;
+* :mod:`repro.viz` — the ZVTM-like zoomable glyph toolkit;
+* :mod:`repro.tpch`, :mod:`repro.workloads` — workloads.
+"""
+
+from repro.core import (
+    PairSequenceColorizer,
+    PlanTraceMap,
+    ReplayController,
+    Stethoscope,
+    TextualStethoscope,
+    ThresholdColorizer,
+)
+from repro.dot import parse_dot, plan_to_dot, plan_to_graph
+from repro.layout import layout_graph
+from repro.profiler import EventFilter, Profiler, TraceEvent, read_trace, write_trace
+from repro.server import Database, MClient, Mserver
+from repro.sqlfe import compile_sql
+from repro.storage import BAT, Catalog
+from repro.svg import layout_to_svg, svg_to_graph
+from repro.tpch import populate, query_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BAT",
+    "Catalog",
+    "Database",
+    "EventFilter",
+    "MClient",
+    "Mserver",
+    "PairSequenceColorizer",
+    "PlanTraceMap",
+    "Profiler",
+    "ReplayController",
+    "Stethoscope",
+    "TextualStethoscope",
+    "ThresholdColorizer",
+    "TraceEvent",
+    "compile_sql",
+    "layout_graph",
+    "layout_to_svg",
+    "parse_dot",
+    "plan_to_dot",
+    "plan_to_graph",
+    "populate",
+    "query_sql",
+    "read_trace",
+    "svg_to_graph",
+    "write_trace",
+    "__version__",
+]

@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror how the paper's tools are operated:
+
+=============  =========================================================
+``serve``      start an Mserver with TPC-H data (the background server)
+``query``      run SQL against a server (a client session)
+``listen``     the textual Stethoscope: receive a UDP trace stream and
+               write the dot/trace files
+``offline``    open a dot + trace file pair, replay, and report
+``analyze``    micro-analysis table of a trace file
+``datagen``    generate a TPC-H catalog and save it to disk
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stethoscope: visual analysis of query execution plans",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="start an Mserver")
+    serve.add_argument("--port", type=int, default=50000)
+    serve.add_argument("--scale", type=float, default=0.1,
+                       help="TPC-H scale factor (1.0 = ~6000 lineitems)")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--catalog", help="load a saved catalog instead of "
+                                         "generating TPC-H data")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop after this long (default: run forever)")
+
+    query = commands.add_parser("query", help="run SQL against a server")
+    query.add_argument("sql")
+    query.add_argument("--port", type=int, default=50000)
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--explain", action="store_true",
+                       help="print the MAL plan instead of executing")
+    query.add_argument("--dot", action="store_true",
+                       help="print the plan's dot file instead of executing")
+    query.add_argument("--pipeline", default=None,
+                       help="optimizer pipeline for this session")
+
+    listen = commands.add_parser(
+        "listen", help="textual Stethoscope: receive a UDP trace stream"
+    )
+    listen.add_argument("--port", type=int, default=50010)
+    listen.add_argument("--trace-file", default="query.trace")
+    listen.add_argument("--dot-file", default="plan.dot")
+    listen.add_argument("--timeout", type=float, default=30.0)
+    listen.add_argument("--status", choices=["start", "done"], default=None,
+                        help="client-side status filter")
+
+    offline = commands.add_parser(
+        "offline", help="offline analysis of a dot + trace file pair"
+    )
+    offline.add_argument("dot_file")
+    offline.add_argument("trace_file")
+    offline.add_argument("--threshold", type=int, default=None,
+                         help="usec threshold colouring instead of the "
+                              "pair-sequence algorithm")
+    offline.add_argument("--svg", default=None,
+                         help="write the coloured display to an SVG file")
+    offline.add_argument("--ascii", action="store_true",
+                         help="print the display as text")
+
+    shot = commands.add_parser(
+        "screenshot", help="render a dot + trace pair to a PPM image"
+    )
+    shot.add_argument("dot_file")
+    shot.add_argument("trace_file")
+    shot.add_argument("output", help="output .ppm path")
+    shot.add_argument("--width", type=int, default=1280)
+    shot.add_argument("--height", type=int, default=960)
+    shot.add_argument("--threshold", type=int, default=None)
+    shot.add_argument("--gradient", action="store_true",
+                      help="gradient colouring instead of RED/GREEN")
+
+    analyze = commands.add_parser("analyze",
+                                  help="micro-analysis of a trace file")
+    analyze.add_argument("trace_file")
+    analyze.add_argument("--top", type=int, default=10)
+    analyze.add_argument("--csv", action="store_true")
+
+    datagen = commands.add_parser("datagen",
+                                  help="generate and save a TPC-H catalog")
+    datagen.add_argument("path")
+    datagen.add_argument("--scale", type=float, default=0.1)
+    datagen.add_argument("--seed", type=int, default=19920101)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.server import Database, Mserver
+    from repro.tpch import populate
+
+    if args.catalog:
+        from repro.storage.persist import load_catalog
+
+        catalog = load_catalog(args.catalog)
+        db = Database(catalog=catalog, workers=args.workers)
+        out.write(f"loaded catalog from {args.catalog}\n")
+    else:
+        db = Database(workers=args.workers)
+        counts = populate(db.catalog, scale_factor=args.scale)
+        out.write(f"TPC-H sf={args.scale}: "
+                  f"{counts['lineitem']} lineitems\n")
+    with Mserver(db, port=args.port) as server:
+        out.write(f"Mserver listening on port {server.port}\n")
+        out.flush()
+        deadline = (time.monotonic() + args.max_seconds
+                    if args.max_seconds else None)
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+    out.write("server stopped\n")
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        if args.pipeline:
+            client.set_pipeline(args.pipeline)
+        if args.explain:
+            out.write(client.explain(args.sql) + "\n")
+            return 0
+        if args.dot:
+            out.write(client.dot(args.sql) + "\n")
+            return 0
+        result = client.query(args.sql)
+        if result.kind == "rows":
+            out.write("\t".join(result.columns) + "\n")
+            for row in result.rows:
+                out.write("\t".join(str(v) for v in row) + "\n")
+            out.write(f"-- {len(result.rows)} row(s)\n")
+        else:
+            out.write(f"-- {result.kind}: {result.affected} row(s)\n")
+    return 0
+
+
+def _cmd_listen(args, out) -> int:
+    from repro.core.textual import TextualStethoscope
+    from repro.profiler import EventFilter
+
+    event_filter = None
+    if args.status:
+        event_filter = EventFilter(statuses={args.status})
+    textual = TextualStethoscope()
+    connection = textual.connect("server", event_filter,
+                                 port=args.port)
+    out.write(f"textual stethoscope listening on UDP {connection.port}\n")
+    out.flush()
+    deadline = time.monotonic() + args.timeout
+    try:
+        while time.monotonic() < deadline and not connection.ended:
+            connection.drain(timeout=0.1)
+    except KeyboardInterrupt:
+        pass
+    if connection.dot_lines:
+        connection.write_dot_file(args.dot_file)
+        out.write(f"wrote {args.dot_file}\n")
+    count = connection.write_trace_file(args.trace_file)
+    out.write(f"wrote {args.trace_file} ({count} events, "
+              f"{connection.dropped} filtered, "
+              f"{connection.malformed} malformed)\n")
+    textual.close()
+    return 0 if count or connection.dot_lines else 1
+
+
+def _cmd_offline(args, out) -> int:
+    from repro.core.session import Stethoscope
+
+    session = Stethoscope.offline(args.dot_file, args.trace_file,
+                                  threshold_usec=args.threshold)
+    session.replay.run_to_end()
+    out.write(f"plan: {session.graph.node_count()} nodes, "
+              f"{session.graph.edge_count()} edges\n")
+    out.write(f"trace: {len(session.events)} events, coverage "
+              f"{session.trace_map.coverage():.0%}\n")
+    colored = sorted(session.painter.rendered.items())
+    if colored:
+        out.write("coloured nodes:\n")
+        for node_id, color in colored:
+            out.write(f"  {node_id}: {color.to_hex()}\n")
+    out.write("\nbird's-eye clustering:\n")
+    out.write(session.birdseye() + "\n")
+    profile = session.parallelism()
+    out.write(f"\nparallelism: {profile.threads_used} thread(s), "
+              f"speedup {profile.speedup_vs_serial:.2f}x\n")
+    if args.svg:
+        session.save_svg(args.svg)
+        out.write(f"wrote {args.svg}\n")
+    if args.ascii:
+        out.write(session.render_ascii() + "\n")
+    return 0
+
+
+def _cmd_screenshot(args, out) -> int:
+    from repro.core.session import Stethoscope
+    from repro.viz.raster import screenshot
+
+    session = Stethoscope.offline(args.dot_file, args.trace_file,
+                                  threshold_usec=args.threshold)
+    if args.gradient:
+        session.apply_gradient_coloring()
+    else:
+        session.replay.run_to_end()
+    screenshot(session.space, args.output,
+               width=args.width, height=args.height)
+    out.write(f"wrote {args.output} ({args.width}x{args.height})\n")
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from repro.core.microanalysis import TraceAnalyzer
+    from repro.profiler import read_trace
+
+    analyzer = TraceAnalyzer(read_trace(args.trace_file))
+    if args.csv:
+        out.write(analyzer.to_csv() + "\n")
+        return 0
+    summary = analyzer.summary()
+    out.write(f"events: {summary['events']}  instructions: "
+              f"{summary['instructions']}\n")
+    out.write(f"makespan: {summary['makespan_usec']} usec  "
+              f"p50: {summary['p50_usec']}  p95: {summary['p95_usec']}  "
+              f"p99: {summary['p99_usec']}\n\n")
+    out.write(f"{'pc':>5} {'execs':>5} {'total':>9} {'mean':>9}  stmt\n")
+    for stats in analyzer.per_instruction()[: args.top]:
+        out.write(f"{stats.pc:>5} {stats.executions:>5} "
+                  f"{stats.total_usec:>9} {stats.mean_usec:>9.1f}  "
+                  f"{stats.stmt[:60]}\n")
+    return 0
+
+
+def _cmd_datagen(args, out) -> int:
+    from repro.storage import Catalog
+    from repro.storage.persist import save_catalog
+    from repro.tpch import populate
+
+    catalog = Catalog()
+    counts = populate(catalog, scale_factor=args.scale, seed=args.seed)
+    rows = save_catalog(catalog, args.path)
+    out.write(f"wrote {args.path}: {rows} rows "
+              f"({counts['lineitem']} lineitems)\n")
+    return 0
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "listen": _cmd_listen,
+    "offline": _cmd_offline,
+    "screenshot": _cmd_screenshot,
+    "analyze": _cmd_analyze,
+    "datagen": _cmd_datagen,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except Exception as exc:  # surface cleanly at the CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

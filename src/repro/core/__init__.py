@@ -1,0 +1,48 @@
+"""Stethoscope: interactive visual analysis of query execution plans.
+
+The paper's contribution — everything above the substrates: the textual
+Stethoscope (UDP trace client), trace↔dot mapping, the §4.2.1 colouring
+algorithms, offline replay (step / fast-forward / rewind / pause),
+online monitoring (listener, query and monitor threads with trace
+sampling), run-time analysis (thread utilisation, memory per operator,
+costly-instruction clustering), the bird's-eye view, tool-tips and debug
+windows, and the paper's future-work features (gradient colouring,
+administrative-instruction pruning, trace micro-analysis).
+"""
+
+from repro.core.coloring import (
+    ColorAction,
+    PairSequenceColorizer,
+    ThresholdColorizer,
+)
+from repro.core.inspect import DebugWindow, tooltip_text
+from repro.core.mapping import PlanTraceMap, node_for_pc, pc_for_node
+from repro.core.microanalysis import TraceAnalyzer
+from repro.core.navigation import Navigator
+from repro.core.options import FilterOptionsWindow
+from repro.core.painter import GraphPainter
+from repro.core.pruning import prune_administrative
+from repro.core.replay import ReplayController
+from repro.core.session import OfflineSession, Stethoscope
+from repro.core.textual import ServerConnection, TextualStethoscope
+
+__all__ = [
+    "ColorAction",
+    "DebugWindow",
+    "FilterOptionsWindow",
+    "GraphPainter",
+    "Navigator",
+    "OfflineSession",
+    "PairSequenceColorizer",
+    "PlanTraceMap",
+    "ReplayController",
+    "ServerConnection",
+    "Stethoscope",
+    "TextualStethoscope",
+    "ThresholdColorizer",
+    "TraceAnalyzer",
+    "node_for_pc",
+    "pc_for_node",
+    "prune_administrative",
+    "tooltip_text",
+]

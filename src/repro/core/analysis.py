@@ -1,0 +1,334 @@
+"""Run-time analysis over execution traces.
+
+The paper's offline demo shows "utilization distribution of threads,
+memory usage by operators, and costly instruction clustering"; the online
+demo adds "multi-core utilisation analysis [that] exhibits degree of
+multi-threaded parallelization of MAL instructions".  Each of those is a
+function here, and :func:`detect_sequential_anomaly` captures the
+reported finding of "sequential execution of a MAL plan where
+multithreaded execution was expected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.profiler.events import TraceEvent
+
+
+@dataclass
+class ThreadUtilization:
+    """Busy time and share of the query makespan for one worker thread."""
+
+    thread: int
+    busy_usec: int
+    instructions: int
+    utilization: float  # busy / makespan
+
+
+def thread_utilization(events: Sequence[TraceEvent]) -> List[ThreadUtilization]:
+    """Per-thread busy time over the trace (done events carry usec)."""
+    makespan = max((e.clock_usec for e in events), default=0)
+    busy: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for event in events:
+        if event.status != "done":
+            continue
+        busy[event.thread] = busy.get(event.thread, 0) + event.usec
+        counts[event.thread] = counts.get(event.thread, 0) + 1
+    return [
+        ThreadUtilization(
+            thread=thread, busy_usec=busy[thread],
+            instructions=counts[thread],
+            utilization=(busy[thread] / makespan) if makespan else 0.0,
+        )
+        for thread in sorted(busy)
+    ]
+
+
+@dataclass
+class OperatorMemory:
+    """Memory behaviour of one MAL operator across the trace."""
+
+    operator: str  # module.function
+    calls: int
+    total_usec: int
+    peak_rss_bytes: int
+    mean_rss_bytes: float
+
+
+def memory_by_operator(events: Sequence[TraceEvent]) -> List[OperatorMemory]:
+    """Memory usage by operator, sorted by peak rss (offline demo)."""
+    grouped: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        if event.status != "done":
+            continue
+        grouped.setdefault(f"{event.module}.{event.function}", []).append(event)
+    out = []
+    for operator, group in grouped.items():
+        rss = [e.rss_bytes for e in group]
+        out.append(OperatorMemory(
+            operator=operator, calls=len(group),
+            total_usec=sum(e.usec for e in group),
+            peak_rss_bytes=max(rss),
+            mean_rss_bytes=sum(rss) / len(rss),
+        ))
+    out.sort(key=lambda o: o.peak_rss_bytes, reverse=True)
+    return out
+
+
+@dataclass
+class CostCluster:
+    """A run of consecutive costly instructions (plan hot region)."""
+
+    pcs: List[int]
+    total_usec: int
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.pcs[0], self.pcs[-1])
+
+
+def costly_instructions(events: Sequence[TraceEvent],
+                        top: int = 10) -> List[TraceEvent]:
+    """The top-N most expensive done events."""
+    done = [e for e in events if e.status == "done"]
+    done.sort(key=lambda e: e.usec, reverse=True)
+    return done[:top]
+
+
+def costly_clusters(events: Sequence[TraceEvent],
+                    fraction: float = 0.8) -> List[CostCluster]:
+    """Cluster costly instructions by pc adjacency.
+
+    Instructions are taken in decreasing cost until ``fraction`` of the
+    total time is covered, then grouped into maximal runs of consecutive
+    pcs — the "costly instruction clustering" view, which shows *where in
+    the plan* the time goes rather than just which instruction.
+    """
+    done = [e for e in events if e.status == "done"]
+    total = sum(e.usec for e in done)
+    if total == 0:
+        return []
+    chosen: Dict[int, int] = {}
+    covered = 0
+    for event in sorted(done, key=lambda e: e.usec, reverse=True):
+        if covered >= total * fraction:
+            break
+        chosen[event.pc] = chosen.get(event.pc, 0) + event.usec
+        covered += event.usec
+    clusters: List[CostCluster] = []
+    for pc in sorted(chosen):
+        if clusters and pc == clusters[-1].pcs[-1] + 1:
+            clusters[-1].pcs.append(pc)
+            clusters[-1].total_usec += chosen[pc]
+        else:
+            clusters.append(CostCluster([pc], chosen[pc]))
+    clusters.sort(key=lambda c: c.total_usec, reverse=True)
+    return clusters
+
+
+@dataclass
+class ParallelismProfile:
+    """Degree of multi-threaded parallelisation of a trace."""
+
+    threads_used: int
+    max_concurrency: int
+    mean_concurrency: float
+    makespan_usec: int
+    busy_usec: int
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Observed speedup against running every instruction serially."""
+        if self.makespan_usec == 0:
+            return 1.0
+        return self.busy_usec / self.makespan_usec
+
+
+def parallelism_profile(events: Sequence[TraceEvent]) -> ParallelismProfile:
+    """Concurrency statistics from start/done event interleaving."""
+    done = [e for e in events if e.status == "done"]
+    makespan = max((e.clock_usec for e in events), default=0)
+    busy = sum(e.usec for e in done)
+    # sweep the start/end intervals for concurrency
+    boundary: List[Tuple[int, int]] = []
+    for event in done:
+        boundary.append((event.clock_usec - event.usec, +1))
+        boundary.append((event.clock_usec, -1))
+    boundary.sort()
+    concurrency = 0
+    max_concurrency = 0
+    weighted = 0
+    previous_clock = None
+    for clock, delta in boundary:
+        if previous_clock is not None and concurrency > 0:
+            weighted += concurrency * (clock - previous_clock)
+        concurrency += delta
+        max_concurrency = max(max_concurrency, concurrency)
+        previous_clock = clock
+    mean = (weighted / makespan) if makespan else 0.0
+    return ParallelismProfile(
+        threads_used=len({e.thread for e in done}),
+        max_concurrency=max_concurrency,
+        mean_concurrency=mean,
+        makespan_usec=makespan,
+        busy_usec=busy,
+    )
+
+
+def rss_timeline(events: Sequence[TraceEvent],
+                 buckets: int = 60) -> List[Tuple[int, int]]:
+    """Resident-set size over the query's lifetime.
+
+    Returns (clock_usec, rss_bytes) samples — the peak rss observed in
+    each of ``buckets`` equal time windows — the data behind a memory
+    timeline in the analytic panel.
+    """
+    if not events:
+        return []
+    makespan = max(e.clock_usec for e in events) or 1
+    samples = [0] * buckets
+    for event in events:
+        index = min(buckets - 1, event.clock_usec * buckets // makespan)
+        samples[index] = max(samples[index], event.rss_bytes)
+    # carry the last known value through empty windows
+    current = 0
+    out: List[Tuple[int, int]] = []
+    for index, value in enumerate(samples):
+        current = value if value else current
+        out.append(((index + 1) * makespan // buckets, current))
+    return out
+
+
+def render_rss_sparkline(events: Sequence[TraceEvent],
+                         width: int = 60) -> str:
+    """The rss timeline as a one-line text sparkline."""
+    timeline = rss_timeline(events, buckets=width)
+    if not timeline:
+        return "(empty trace)"
+    levels = " _.-=#%@"
+    peak = max(v for _t, v in timeline) or 1
+    chars = [
+        levels[min(len(levels) - 1, v * (len(levels) - 1) // peak)]
+        for _t, v in timeline
+    ]
+    return "".join(chars) + f"  (peak {peak} bytes)"
+
+
+@dataclass
+class OperatorSlowdown:
+    """How much slower one operator ran in the loaded trace."""
+
+    operator: str
+    baseline_usec: int
+    loaded_usec: int
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_usec == 0:
+            return 1.0
+        return self.loaded_usec / self.baseline_usec
+
+
+@dataclass
+class InterferenceReport:
+    """Comparison of the same query traced idle vs. under load.
+
+    The paper's online mode provides "insight in the total system
+    behavior.  For example, influence of concurrent processes competing
+    with the resources" — this report quantifies that influence: overall
+    makespan inflation and the per-operator slowdowns, sorted worst
+    first.
+    """
+
+    baseline_makespan_usec: int
+    loaded_makespan_usec: int
+    operators: List[OperatorSlowdown]
+
+    @property
+    def makespan_inflation(self) -> float:
+        if self.baseline_makespan_usec == 0:
+            return 1.0
+        return self.loaded_makespan_usec / self.baseline_makespan_usec
+
+    def worst(self, top: int = 5) -> List[OperatorSlowdown]:
+        return self.operators[:top]
+
+
+def compare_traces(baseline: Sequence[TraceEvent],
+                   loaded: Sequence[TraceEvent]) -> InterferenceReport:
+    """Quantify interference between two traces of the *same* plan.
+
+    Operators present in only one trace are skipped (a different plan
+    is a user error this analysis cannot repair).
+    """
+
+    def per_operator(events: Sequence[TraceEvent]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in events:
+            if event.status != "done":
+                continue
+            key = f"{event.module}.{event.function}"
+            out[key] = out.get(key, 0) + event.usec
+        return out
+
+    base = per_operator(baseline)
+    load = per_operator(loaded)
+    operators = [
+        OperatorSlowdown(operator=op, baseline_usec=base[op],
+                         loaded_usec=load[op])
+        for op in base if op in load
+    ]
+    operators.sort(key=lambda o: o.slowdown, reverse=True)
+    return InterferenceReport(
+        baseline_makespan_usec=max(
+            (e.clock_usec for e in baseline), default=0
+        ),
+        loaded_makespan_usec=max(
+            (e.clock_usec for e in loaded), default=0
+        ),
+        operators=operators,
+    )
+
+
+@dataclass
+class SequentialAnomaly:
+    """Diagnosis of a plan that failed to parallelise."""
+
+    detected: bool
+    threads_used: int
+    expected_threads: int
+    max_concurrency: int
+    explanation: str
+
+
+def detect_sequential_anomaly(events: Sequence[TraceEvent],
+                              expected_threads: int) -> SequentialAnomaly:
+    """Flag sequential execution where multi-threading was expected.
+
+    The paper: "using Stethoscope we have uncovered several unusual
+    cases, such as sequential execution of a MAL plan where multithreaded
+    execution was expected."
+    """
+    profile = parallelism_profile(events)
+    detected = expected_threads > 1 and profile.threads_used <= 1
+    if detected:
+        explanation = (
+            f"plan ran on {profile.threads_used} thread(s) although "
+            f"{expected_threads} workers were available — check whether "
+            "the dataflow optimizer ran (e.g. sequential_pipe selected)"
+        )
+    else:
+        explanation = (
+            f"{profile.threads_used} thread(s) used, max concurrency "
+            f"{profile.max_concurrency}"
+        )
+    return SequentialAnomaly(
+        detected=detected,
+        threads_used=profile.threads_used,
+        expected_threads=expected_threads,
+        max_concurrency=profile.max_concurrency,
+        explanation=explanation,
+    )

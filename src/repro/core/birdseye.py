@@ -1,0 +1,91 @@
+"""Bird's-eye view of the entire trace (paper §5, offline demo).
+
+"Birds eye view of the entire trace, to understand the sequence of
+instruction execution clustering."  Two complementary views:
+
+* the *camera* operation — frame the whole plan (delegated to
+  :meth:`repro.viz.view.View.fit_all`);
+* the *trace clustering* below — segment the execution sequence into
+  phases of same-module activity, which is how plan stages (binds,
+  selections, joins, aggregation, result export) show up as bands when
+  the animation plays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.profiler.events import TraceEvent
+
+
+@dataclass
+class TraceSegment:
+    """A maximal run of consecutive done-events from one MAL module."""
+
+    module: str
+    first_event: int  # sequence number of first event in segment
+    count: int
+    total_usec: int
+    start_clock_usec: int
+    end_clock_usec: int
+
+
+def segment_trace(events: Sequence[TraceEvent],
+                  min_segment: int = 1) -> List[TraceSegment]:
+    """Cluster the done-event sequence by module.
+
+    Consecutive instructions from the same module merge into one segment;
+    segments shorter than ``min_segment`` are absorbed into their
+    predecessor (noise suppression for the display).
+    """
+    segments: List[TraceSegment] = []
+    for event in events:
+        if event.status != "done":
+            continue
+        if segments and segments[-1].module == event.module:
+            current = segments[-1]
+            current.count += 1
+            current.total_usec += event.usec
+            current.end_clock_usec = event.clock_usec
+        else:
+            segments.append(TraceSegment(
+                module=event.module, first_event=event.event, count=1,
+                total_usec=event.usec,
+                start_clock_usec=event.clock_usec - event.usec,
+                end_clock_usec=event.clock_usec,
+            ))
+    if min_segment > 1 and segments:
+        merged: List[TraceSegment] = [segments[0]]
+        for segment in segments[1:]:
+            if segment.count < min_segment:
+                merged[-1].count += segment.count
+                merged[-1].total_usec += segment.total_usec
+                merged[-1].end_clock_usec = segment.end_clock_usec
+            else:
+                merged.append(segment)
+        segments = merged
+    return segments
+
+
+def render_birdseye(segments: Sequence[TraceSegment],
+                    width: int = 72) -> str:
+    """Render segments as a proportional text band — one glance shows
+    where the time went."""
+    total = sum(s.total_usec for s in segments)
+    if total == 0:
+        return "(empty trace)"
+    lines = []
+    bar = []
+    for segment in segments:
+        share = segment.total_usec / total
+        cells = max(1, round(share * width))
+        bar.append((segment.module[:1] or "?") * cells)
+    lines.append("".join(bar))
+    for segment in segments:
+        share = 100.0 * segment.total_usec / total
+        lines.append(
+            f"{segment.module:<10} x{segment.count:<5} "
+            f"{segment.total_usec:>8} usec  {share:5.1f}%"
+        )
+    return "\n".join(lines)

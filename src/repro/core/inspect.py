@@ -1,0 +1,109 @@
+"""Tool-tip text and debug-options windows (paper feature 3).
+
+"Run time analysis of execution states using debug window, tool tip
+text."  Tool-tips summarise one node's execution; debug windows watch a
+set of instructions and snapshot their state as the trace advances —
+"multiple instances of debug options window" are just multiple
+:class:`DebugWindow` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.mapping import PlanTraceMap, node_for_pc
+from repro.profiler.events import TraceEvent
+
+
+def tooltip_text(trace_map: PlanTraceMap, node_id: str) -> str:
+    """Multi-line tool-tip for a node: statement, status, timing, memory.
+
+    Shown when the cursor hovers a node in the paper's display window.
+    """
+    label = trace_map.graph.node(node_id).label
+    events = trace_map.events_of(node_id)
+    lines = [label or node_id]
+    if not events:
+        lines.append("state: not executed")
+        return "\n".join(lines)
+    done = trace_map.done_event_of(node_id)
+    if done is None:
+        start = events[-1]
+        lines.append(f"state: running (since {start.clock_usec} usec)")
+        lines.append(f"thread: {start.thread}")
+        lines.append(f"rss: {start.rss_bytes} bytes")
+    else:
+        lines.append("state: done")
+        lines.append(f"elapsed: {done.usec} usec")
+        lines.append(f"thread: {done.thread}")
+        lines.append(f"rss: {done.rss_bytes} bytes")
+        lines.append(
+            f"window: {done.clock_usec - done.usec} .. {done.clock_usec} usec"
+        )
+    if len(events) > 2:
+        lines.append(f"executions: {sum(1 for e in events if e.status == 'start')}")
+    return "\n".join(lines)
+
+
+@dataclass
+class WatchSnapshot:
+    """State of one watched instruction at a moment in the trace."""
+
+    pc: int
+    stmt: str
+    state: str  # "pending" | "running" | "done"
+    clock_usec: int
+    usec: int = 0
+    thread: Optional[int] = None
+    rss_bytes: Optional[int] = None
+
+
+class DebugWindow:
+    """A watch list over selected pcs, updated as events stream in.
+
+    Mirrors the paper's debug-options window: the user picks instructions
+    to monitor; every event updates the watched rows; :meth:`rows`
+    renders the current table.
+    """
+
+    def __init__(self, name: str, watched_pcs: Set[int]) -> None:
+        self.name = name
+        self.watched = set(watched_pcs)
+        self._state: Dict[int, WatchSnapshot] = {}
+        self.update_count = 0
+
+    def observe(self, event: TraceEvent) -> Optional[WatchSnapshot]:
+        """Feed one event; returns the new snapshot if it was watched."""
+        if event.pc not in self.watched:
+            return None
+        self.update_count += 1
+        snapshot = WatchSnapshot(
+            pc=event.pc, stmt=event.stmt,
+            state="running" if event.status == "start" else "done",
+            clock_usec=event.clock_usec,
+            usec=event.usec, thread=event.thread,
+            rss_bytes=event.rss_bytes,
+        )
+        self._state[event.pc] = snapshot
+        return snapshot
+
+    def rows(self) -> List[WatchSnapshot]:
+        """Current watch table, pending instructions included."""
+        out = []
+        for pc in sorted(self.watched):
+            if pc in self._state:
+                out.append(self._state[pc])
+            else:
+                out.append(WatchSnapshot(pc=pc, stmt="", state="pending",
+                                         clock_usec=0))
+        return out
+
+    def render(self) -> str:
+        """The window as text (one row per watched instruction)."""
+        lines = [f"== debug window: {self.name} =="]
+        for row in self.rows():
+            detail = f" usec={row.usec} thread={row.thread}" \
+                if row.state == "done" else ""
+            lines.append(f"pc={row.pc:<4} {row.state:<8}{detail}  {row.stmt}")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Analytic interface for micro-analysis of traces (paper future work).
+
+"An analytic interface for micro analysis of trace" — tabular statistics
+over the event stream: per-instruction and per-operator aggregates,
+latency percentiles, time-window slicing and CSV export, so a trace can
+be studied quantitatively instead of visually.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.profiler.events import TraceEvent
+
+
+@dataclass
+class InstructionStats:
+    """Aggregate statistics of one instruction (pc) across a trace."""
+
+    pc: int
+    stmt: str
+    executions: int
+    total_usec: int
+    min_usec: int
+    max_usec: int
+    mean_usec: float
+
+
+@dataclass
+class OperatorStats:
+    """Aggregate statistics of one operator (module.function)."""
+
+    operator: str
+    calls: int
+    total_usec: int
+    share: float  # of total trace busy time
+
+
+class TraceAnalyzer:
+    """Micro-analysis over a recorded trace."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events = list(events)
+        self.done = [e for e in self.events if e.status == "done"]
+
+    # ------------------------------------------------------------------
+
+    def per_instruction(self) -> List[InstructionStats]:
+        """Statistics per pc, ordered by total time descending."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self.done:
+            grouped.setdefault(event.pc, []).append(event)
+        out = []
+        for pc, group in grouped.items():
+            usecs = [e.usec for e in group]
+            out.append(InstructionStats(
+                pc=pc, stmt=group[-1].stmt, executions=len(group),
+                total_usec=sum(usecs), min_usec=min(usecs),
+                max_usec=max(usecs), mean_usec=sum(usecs) / len(usecs),
+            ))
+        out.sort(key=lambda s: s.total_usec, reverse=True)
+        return out
+
+    def per_operator(self) -> List[OperatorStats]:
+        """Statistics per operator, ordered by total time descending."""
+        grouped: Dict[str, List[TraceEvent]] = {}
+        for event in self.done:
+            grouped.setdefault(
+                f"{event.module}.{event.function}", []
+            ).append(event)
+        total = sum(e.usec for e in self.done) or 1
+        out = [
+            OperatorStats(
+                operator=operator, calls=len(group),
+                total_usec=sum(e.usec for e in group),
+                share=sum(e.usec for e in group) / total,
+            )
+            for operator, group in grouped.items()
+        ]
+        out.sort(key=lambda s: s.total_usec, reverse=True)
+        return out
+
+    def percentile(self, q: float) -> int:
+        """The q-th percentile (0..100) of done-event durations."""
+        if not self.done:
+            return 0
+        if not (0 <= q <= 100):
+            raise ValueError("percentile must be in 0..100")
+        ordered = sorted(e.usec for e in self.done)
+        rank = (q / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return round(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+    def window(self, start_usec: int, end_usec: int) -> "TraceAnalyzer":
+        """A sub-analyzer over one time window of the trace."""
+        return TraceAnalyzer([
+            e for e in self.events
+            if start_usec <= e.clock_usec <= end_usec
+        ])
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for the analytic panel."""
+        makespan = max((e.clock_usec for e in self.events), default=0)
+        busy = sum(e.usec for e in self.done)
+        return {
+            "events": len(self.events),
+            "instructions": len({e.pc for e in self.done}),
+            "makespan_usec": makespan,
+            "busy_usec": busy,
+            "p50_usec": self.percentile(50),
+            "p95_usec": self.percentile(95),
+            "p99_usec": self.percentile(99),
+        }
+
+    def to_csv(self) -> str:
+        """Per-instruction table as CSV (export for external tooling)."""
+        lines = ["pc,executions,total_usec,min_usec,max_usec,mean_usec,stmt"]
+        for stats in self.per_instruction():
+            stmt = stats.stmt.replace('"', '""')
+            lines.append(
+                f"{stats.pc},{stats.executions},{stats.total_usec},"
+                f"{stats.min_usec},{stats.max_usec},{stats.mean_usec:.1f},"
+                f'"{stmt}"'
+            )
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Online mode: live monitoring of a running query (paper §4.2).
+
+"Online mode components use a multi-threaded design.  As a first step,
+the textual Stethoscope is launched in a dedicated thread [listening for
+the UDP stream].  The query whose execution plan needs to be analyzed is
+launched next in a separate thread.  ...  A separate thread monitors the
+received UDP stream for dot file and execution trace file content."
+
+The monitor builds the display as soon as the dot content has arrived,
+then feeds trace events through the colouring algorithm into the render
+queue.  When the queue backlog exceeds a threshold — the ~150 ms/node
+render ceiling cannot keep up with a fast event stream — the monitor
+*samples*: it keeps the RED (long-running) actions and drops GREEN
+repaints, which is the run-time filtering the paper describes applying
+to the buffered trace.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.coloring import ColorAction, PairSequenceColorizer
+from repro.core.painter import GraphPainter
+from repro.core.textual import ServerConnection
+from repro.dot.graph import Digraph
+from repro.dot.parser import parse_dot
+from repro.errors import StethoscopeError
+from repro.layout import layout_graph
+from repro.profiler.events import TraceEvent
+from repro.viz.color import GREEN
+from repro.viz.events import EventDispatchQueue
+from repro.viz.vspace import VirtualSpace, build_virtual_space
+
+
+@dataclass
+class OnlineResult:
+    """Everything an online monitoring run produced."""
+
+    graph: Optional[Digraph]
+    space: Optional[VirtualSpace]
+    painter: Optional[GraphPainter]
+    events: List[TraceEvent]
+    dot_path: Optional[str]
+    trace_path: Optional[str]
+    query_result: Any
+    sampled_out: int  # colour actions dropped by sampling
+    red_pcs: List[int] = field(default_factory=list)
+    #: live progress state at end of run (complete unless interrupted)
+    progress: Any = None
+    #: pop-ups raised for long-running instructions during the run
+    popups: List[Any] = field(default_factory=list)
+
+    def to_offline_session(self, threshold_usec: Optional[int] = None):
+        """Reopen this run's plan and trace as an offline session — the
+        natural follow-up after live monitoring ends: replay what was
+        just watched, at leisure."""
+        from repro.core.session import OfflineSession
+        from repro.dot.writer import graph_to_dot
+        from repro.errors import StethoscopeError
+
+        if self.graph is None:
+            raise StethoscopeError("no plan was received during the run")
+        return OfflineSession(graph_to_dot(self.graph), self.events,
+                              threshold_usec)
+
+
+class OnlineSession:
+    """Drives one online monitoring run.
+
+    Args:
+        connection: the textual-stethoscope connection the server
+            streams to.
+        run_query: launches the query on the server (called in the query
+            thread); its return value lands in the result.
+        workdir: where the dot and trace files are written.
+        backlog_threshold: render-queue backlog above which GREEN
+            actions are sampled out.
+        render_interval_ms: the EDT pacing (the paper's ~150 ms).
+    """
+
+    def __init__(self, connection: ServerConnection,
+                 run_query: Callable[[], Any],
+                 workdir: str,
+                 backlog_threshold: int = 32,
+                 render_interval_ms: float = 150.0,
+                 popup_threshold_usec: int = 10_000) -> None:
+        self.connection = connection
+        self.run_query = run_query
+        self.workdir = workdir
+        self.backlog_threshold = backlog_threshold
+        self.render_interval_ms = render_interval_ms
+        self.popup_threshold_usec = popup_threshold_usec
+
+    def run(self, timeout_s: float = 30.0) -> OnlineResult:
+        """Run listener, query and monitor threads until the stream ends.
+
+        Raises:
+            StethoscopeError: when the stream never ends within the
+                timeout and no END marker was seen.
+        """
+        stop = threading.Event()
+        query_out: List[Any] = []
+        query_err: List[BaseException] = []
+
+        def listener() -> None:
+            while not stop.is_set() and not self.connection.ended:
+                self.connection.drain(timeout=0.02)
+
+        def query() -> None:
+            try:
+                query_out.append(self.run_query())
+            except BaseException as exc:  # surfaced after join
+                query_err.append(exc)
+
+        listener_thread = threading.Thread(target=listener, daemon=True)
+        query_thread = threading.Thread(target=query, daemon=True)
+        listener_thread.start()
+        query_thread.start()
+
+        from repro.core.progress import PopupManager, ProgressWindow
+
+        graph: Optional[Digraph] = None
+        space: Optional[VirtualSpace] = None
+        painter: Optional[GraphPainter] = None
+        colorizer = PairSequenceColorizer()
+        progress: Optional[ProgressWindow] = None
+        popups = PopupManager(self.popup_threshold_usec)
+        consumed = 0
+        sampled_out = 0
+        began = time.monotonic()
+        deadline = began + timeout_s
+
+        def elapsed_ms() -> float:
+            return (time.monotonic() - began) * 1000.0
+
+        while time.monotonic() < deadline:
+            if graph is None and self.connection.dot_lines and \
+                    (self.connection.events or self.connection.ended):
+                # dot content is complete once execution events flow
+                graph = parse_dot(self.connection.dot_text())
+                space = build_virtual_space(layout_graph(graph))
+                painter = GraphPainter(
+                    space, EventDispatchQueue(self.render_interval_ms)
+                )
+            if graph is not None and progress is None:
+                progress = ProgressWindow(plan_size=graph.node_count())
+            new_events = self.connection.events[consumed:]
+            consumed += len(new_events)
+            for event in new_events:
+                if progress is not None:
+                    progress.observe(event)
+                popups.observe(event)
+                actions = colorizer.push(event)
+                if painter is not None:
+                    sampled_out += self._apply_sampled(painter, actions)
+            if new_events:
+                popups.tick(new_events[-1].clock_usec)
+            if painter is not None:
+                painter.pump(elapsed_ms())
+            if self.connection.ended and consumed >= len(
+                self.connection.events
+            ):
+                break
+            time.sleep(0.005)
+        stop.set()
+        listener_thread.join(timeout=2.0)
+        query_thread.join(timeout=2.0)
+        if query_err:
+            raise query_err[0]
+        if not self.connection.ended:
+            raise StethoscopeError(
+                "online stream did not finish within the timeout"
+            )
+        final_actions = colorizer.finish()
+        if painter is not None:
+            painter.apply_all(final_actions)
+            painter.flush()
+        dot_path = trace_path = None
+        if self.connection.dot_lines:
+            dot_path = os.path.join(self.workdir, "plan.dot")
+            self.connection.write_dot_file(dot_path)
+        if self.connection.events:
+            trace_path = os.path.join(self.workdir, "query.trace")
+            self.connection.write_trace_file(trace_path)
+        return OnlineResult(
+            graph=graph, space=space, painter=painter,
+            events=list(self.connection.events),
+            dot_path=dot_path, trace_path=trace_path,
+            query_result=query_out[0] if query_out else None,
+            sampled_out=sampled_out,
+            red_pcs=sorted(colorizer.currently_red),
+            progress=progress,
+            popups=list(popups.popups),
+        )
+
+    def _apply_sampled(self, painter: GraphPainter,
+                       actions: List[ColorAction]) -> int:
+        """Apply actions with backlog-based sampling; returns drops."""
+        dropped = 0
+        for action in actions:
+            if (painter.backlog() > self.backlog_threshold
+                    and action.color == GREEN):
+                dropped += 1
+                continue
+            painter.apply(action)
+        return dropped

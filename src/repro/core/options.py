@@ -1,0 +1,116 @@
+"""The filter-options window model (paper §5: "Stethoscope filter
+options window").
+
+A mutable front for :class:`~repro.profiler.filters.EventFilter`: the
+user toggles statuses, modules and the cost threshold; the window builds
+the immutable filter that is pushed to the server-side profiler and/or
+applied client-side by the textual Stethoscope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.profiler.filters import EventFilter
+
+#: The MAL modules offered as checkboxes, in display order.
+KNOWN_MODULES = [
+    "aggr", "algebra", "bat", "batcalc", "batmtime", "batstr", "calc",
+    "group", "language", "mat", "mtime", "sql",
+]
+
+
+class FilterOptionsWindow:
+    """UI-model of the filter options: all toggles default to *on*."""
+
+    def __init__(self) -> None:
+        self.show_start = True
+        self.show_done = True
+        self._module_enabled: Dict[str, bool] = {
+            module: True for module in KNOWN_MODULES
+        }
+        self.min_usec = 0
+        self.pcs: Optional[Set[int]] = None
+        self.threads: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+
+    def toggle_status(self, status: str) -> bool:
+        """Flip a status checkbox; returns the new state."""
+        if status == "start":
+            self.show_start = not self.show_start
+            return self.show_start
+        if status == "done":
+            self.show_done = not self.show_done
+            return self.show_done
+        raise ValueError(f"unknown status {status!r}")
+
+    def toggle_module(self, module: str) -> bool:
+        """Flip a module checkbox (unknown modules appear on demand)."""
+        state = not self._module_enabled.get(module, True)
+        self._module_enabled[module] = state
+        return state
+
+    def only_modules(self, *modules: str) -> None:
+        """Convenience: enable exactly the given modules."""
+        for module in self._module_enabled:
+            self._module_enabled[module] = False
+        for module in modules:
+            self._module_enabled[module] = True
+
+    def set_threshold(self, min_usec: int) -> None:
+        """Only done-events at least this expensive pass."""
+        if min_usec < 0:
+            raise ValueError("threshold must be non-negative")
+        self.min_usec = min_usec
+
+    def watch_pcs(self, pcs: Optional[Set[int]]) -> None:
+        """Restrict to specific instructions (None = all)."""
+        self.pcs = set(pcs) if pcs is not None else None
+
+    def watch_threads(self, threads: Optional[Set[int]]) -> None:
+        """Restrict to specific worker threads (None = all)."""
+        self.threads = set(threads) if threads is not None else None
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> EventFilter:
+        """The EventFilter matching the current toggles."""
+        statuses: Optional[Set[str]] = None
+        if not (self.show_start and self.show_done):
+            statuses = set()
+            if self.show_start:
+                statuses.add("start")
+            if self.show_done:
+                statuses.add("done")
+        modules: Optional[Set[str]] = None
+        if not all(self._module_enabled.values()):
+            modules = {m for m, on in self._module_enabled.items() if on}
+        return EventFilter(
+            statuses=statuses, modules=modules, pcs=self.pcs,
+            threads=self.threads, min_usec=self.min_usec,
+        )
+
+    def to_wire_options(self) -> Dict:
+        """The ``filter`` payload of the client protocol's ``profiler``
+        request (server-side filtering)."""
+        options: Dict = {}
+        event_filter = self.build()
+        if event_filter.statuses is not None:
+            options["statuses"] = sorted(event_filter.statuses)
+        if event_filter.modules is not None:
+            options["modules"] = sorted(event_filter.modules)
+        if event_filter.min_usec:
+            options["min_usec"] = event_filter.min_usec
+        return options
+
+    def render(self) -> str:
+        """The window as text (checkbox list)."""
+        lines = ["== filter options =="]
+        lines.append(f"[{'x' if self.show_start else ' '}] start events")
+        lines.append(f"[{'x' if self.show_done else ' '}] done events")
+        for module in sorted(self._module_enabled):
+            mark = "x" if self._module_enabled[module] else " "
+            lines.append(f"[{mark}] module {module}")
+        lines.append(f"threshold: {self.min_usec} usec")
+        return "\n".join(lines)

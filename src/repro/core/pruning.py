@@ -1,0 +1,103 @@
+"""Selective pruning of administrative instructions (paper future work).
+
+"Selective pruning of MAL plan to remove unimportant administrative
+instructions" — the plan graph is reduced to the data-carrying
+instructions, with edges re-linked transitively so dataflow connectivity
+survives.  Pruning only changes the *view*: pcs keep their identity, so
+the trace mapping still works on the pruned graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.dot.graph import Digraph
+
+#: Default administrative vocabulary: plan glue that carries no data.
+ADMINISTRATIVE_FUNCTIONS = {
+    "language.pass",
+    "language.dataflow",
+    "sql.mvc",
+    "bat.setName",
+}
+
+#: Result-delivery plumbing — often pruned too when studying the
+#: computational part of a plan.
+RESULT_FUNCTIONS = {
+    "sql.resultSet",
+    "sql.rsColumn",
+    "sql.exportResult",
+    "sql.affectedRows",
+}
+
+
+def _function_of_label(label: str) -> str:
+    """``module.function`` mentioned in a node label (plan statement)."""
+    text = label
+    if ":=" in text:
+        text = text.split(":=", 1)[1]
+    text = text.strip()
+    head = text.split("(", 1)[0].strip()
+    return head
+
+
+def is_administrative(label: str, vocabulary: Set[str]) -> bool:
+    """True when the node's statement belongs to the vocabulary."""
+    return _function_of_label(label) in vocabulary
+
+
+def prune_administrative(graph: Digraph,
+                         vocabulary: Optional[Set[str]] = None,
+                         prune_result_plumbing: bool = False) -> Digraph:
+    """A pruned copy of the plan graph.
+
+    Args:
+        graph: the full plan graph (node labels are MAL statements).
+        vocabulary: functions considered administrative (defaults to
+            :data:`ADMINISTRATIVE_FUNCTIONS`).
+        prune_result_plumbing: additionally drop the result-set calls.
+
+    Edges through removed nodes are re-linked: if a → x → b and x is
+    pruned, the result contains a → b, so long-range dataflow stays
+    readable.
+    """
+    words = set(vocabulary if vocabulary is not None
+                else ADMINISTRATIVE_FUNCTIONS)
+    if prune_result_plumbing:
+        words |= RESULT_FUNCTIONS
+    doomed = {
+        node_id for node_id, node in graph.nodes.items()
+        if is_administrative(node.label, words)
+    }
+    keep = set(graph.nodes) - doomed
+    out = Digraph(graph.name + "_pruned", dict(graph.attrs))
+    for node_id in graph.nodes:
+        if node_id in keep:
+            out.add_node(node_id, dict(graph.nodes[node_id].attrs))
+    # re-link: for each kept node, walk forward through pruned nodes
+    seen_pairs = set()
+    for node_id in keep:
+        frontier: List[str] = list(graph.successors(node_id))
+        visited: Set[str] = set()
+        while frontier:
+            target = frontier.pop()
+            if target in visited:
+                continue
+            visited.add(target)
+            if target in keep:
+                if (node_id, target) not in seen_pairs:
+                    seen_pairs.add((node_id, target))
+                    out.add_edge(node_id, target)
+            else:
+                frontier.extend(graph.successors(target))
+    return out
+
+
+def pruning_report(before: Digraph, after: Digraph) -> str:
+    """One-line summary of what pruning removed."""
+    removed = before.node_count() - after.node_count()
+    return (
+        f"pruned {removed} administrative node(s): "
+        f"{before.node_count()} -> {after.node_count()} nodes, "
+        f"{before.edge_count()} -> {after.edge_count()} edges"
+    )

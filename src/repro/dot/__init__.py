@@ -1,0 +1,22 @@
+"""DOT graph representation of MAL plans.
+
+"The MonetDB server generates a dot file representation for each MAL plan
+before execution begins" (paper §3).  This package provides the graph
+model, the writer that turns a MAL plan's dataflow DAG into dot text, and
+a parser for the dot language subset those files use — the first stage of
+the Stethoscope workflow (dot file → svg → in-memory graph).
+"""
+
+from repro.dot.graph import Digraph, Edge, Node
+from repro.dot.parser import parse_dot
+from repro.dot.writer import graph_to_dot, plan_to_dot, plan_to_graph
+
+__all__ = [
+    "Digraph",
+    "Edge",
+    "Node",
+    "graph_to_dot",
+    "parse_dot",
+    "plan_to_dot",
+    "plan_to_graph",
+]

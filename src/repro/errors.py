@@ -1,0 +1,96 @@
+"""Exception hierarchy for the Stethoscope reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch a single base class at API boundaries while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StorageError(ReproError):
+    """Errors from the columnar storage layer (BATs, catalog)."""
+
+
+class TypeMismatchError(StorageError):
+    """An operation received a value or BAT of the wrong type."""
+
+
+class CatalogError(StorageError):
+    """Unknown schema/table/column, duplicate definitions, and similar."""
+
+
+class MalError(ReproError):
+    """Errors from the MAL layer (parser, interpreter, optimizer)."""
+
+
+class MalParseError(MalError):
+    """The MAL text parser rejected its input."""
+
+
+class MalTypeError(MalError):
+    """A MAL instruction was invoked with incompatible argument types."""
+
+
+class MalRuntimeError(MalError):
+    """A MAL instruction failed during interpretation."""
+
+
+class OptimizerError(MalError):
+    """An optimizer pass could not transform the plan."""
+
+
+class SqlError(ReproError):
+    """Errors from the SQL front end."""
+
+
+class SqlParseError(SqlError):
+    """The SQL parser rejected its input."""
+
+
+class BindError(SqlError):
+    """Name resolution failed (unknown table, column, ambiguous name)."""
+
+
+class ServerError(ReproError):
+    """Errors from the Mserver simulator and its client protocol."""
+
+
+class ProfilerError(ReproError):
+    """Errors from the profiler and trace I/O."""
+
+
+class TraceFormatError(ProfilerError):
+    """A trace line or trace file could not be parsed."""
+
+
+class DotError(ReproError):
+    """Errors from the DOT language writer/parser."""
+
+
+class DotParseError(DotError):
+    """The DOT parser rejected its input."""
+
+
+class LayoutError(ReproError):
+    """Errors from the graph layout engine."""
+
+
+class SvgError(ReproError):
+    """Errors from the SVG writer/parser."""
+
+
+class VizError(ReproError):
+    """Errors from the visualization toolkit."""
+
+
+class StethoscopeError(ReproError):
+    """Errors from the Stethoscope core (mapping, replay, online mode)."""
+
+
+class MappingError(StethoscopeError):
+    """Trace and dot file could not be reconciled (pc without node, ...)."""

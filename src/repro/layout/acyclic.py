@@ -1,0 +1,66 @@
+"""Cycle removal: make an arbitrary digraph acyclic by reversing the back
+edges found by a depth-first search.
+
+MAL plans are DAGs by construction, but the layout engine also accepts
+hand-written dot files, so the pipeline defends itself.  Reversed edges
+are remembered so the final drawing can route them in original direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.dot.graph import Digraph
+
+
+def acyclic_orientation(graph: Digraph) -> Tuple[List[Tuple[str, str]], Set[int]]:
+    """Compute an acyclic edge orientation.
+
+    Returns:
+        (oriented_edges, reversed_indices): one (src, dst) per original
+        edge — possibly swapped — plus the indices (into ``graph.edges``)
+        of the edges that were reversed.  Self-loops are dropped from the
+        oriented list entirely (they do not affect layering).
+    """
+    state: Dict[str, int] = {}  # 0 = on stack, 1 = finished
+    back_edges: Set[int] = set()
+
+    # index edges by (src) for DFS edge identification
+    edges_by_src: Dict[str, List[Tuple[int, str]]] = {}
+    for index, edge in enumerate(graph.edges):
+        edges_by_src.setdefault(edge.src, []).append((index, edge.dst))
+
+    for start in graph.nodes:
+        if start in state:
+            continue
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        state[start] = 0
+        while stack:
+            node, cursor = stack[-1]
+            outgoing = edges_by_src.get(node, [])
+            if cursor >= len(outgoing):
+                state[node] = 1
+                stack.pop()
+                continue
+            stack[-1] = (node, cursor + 1)
+            edge_index, target = outgoing[cursor]
+            if target == node:
+                back_edges.add(edge_index)  # self-loop
+                continue
+            if target not in state:
+                state[target] = 0
+                stack.append((target, 0))
+            elif state[target] == 0:
+                back_edges.add(edge_index)  # back edge: reverse it
+
+    oriented: List[Tuple[str, str]] = []
+    reversed_indices: Set[int] = set()
+    for index, edge in enumerate(graph.edges):
+        if edge.src == edge.dst:
+            continue  # self-loop: not layered
+        if index in back_edges:
+            oriented.append((edge.dst, edge.src))
+            reversed_indices.add(index)
+        else:
+            oriented.append((edge.src, edge.dst))
+    return oriented, reversed_indices

@@ -1,0 +1,118 @@
+"""The layout engine: the full Sugiyama pipeline over a
+:class:`~repro.dot.graph.Digraph`."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dot.graph import Digraph
+from repro.layout.acyclic import acyclic_orientation
+from repro.layout.geometry import (
+    Layout,
+    LayoutEdge,
+    LayoutNode,
+    Point,
+    node_size_for_label,
+)
+from repro.layout.ordering import (
+    count_crossings,
+    insert_virtual_nodes,
+    minimize_crossings,
+)
+from repro.layout.position import assign_coordinates
+from repro.layout.rank import assign_ranks, layers_from_ranks
+
+
+class LayeredLayout:
+    """Configurable hierarchical layout.
+
+    Args:
+        h_gap / v_gap: minimum horizontal / vertical box gaps.
+        max_sweeps: barycenter sweep budget for crossing minimisation.
+        char_width / line_height: label-to-box-size model parameters.
+    """
+
+    def __init__(self, h_gap: float = 30.0, v_gap: float = 40.0,
+                 max_sweeps: int = 8, char_width: float = 7.0,
+                 line_height: float = 16.0) -> None:
+        self.h_gap = h_gap
+        self.v_gap = v_gap
+        self.max_sweeps = max_sweeps
+        self.char_width = char_width
+        self.line_height = line_height
+        #: crossings in the final drawing (filled by :meth:`layout`).
+        self.last_crossings: Optional[int] = None
+
+    def layout(self, graph: Digraph) -> Layout:
+        """Lay out ``graph``; every node gets a box, every edge a
+        polyline routed through its virtual nodes."""
+        node_ids = list(graph.nodes)
+        if not node_ids:
+            return Layout({}, [], 0.0, 0.0)
+        oriented, reversed_indices = acyclic_orientation(graph)
+        rank = assign_ranks(node_ids, oriented)
+        layers = layers_from_ranks(rank)
+        segmented = insert_virtual_nodes(rank, layers, oriented)
+        ordered = minimize_crossings(segmented, self.max_sweeps)
+        self.last_crossings = count_crossings(ordered, segmented.segments)
+
+        widths: Dict[str, float] = {}
+        heights: Dict[str, float] = {}
+        for node_id in node_ids:
+            width, height = node_size_for_label(
+                graph.node(node_id).label, self.char_width, self.line_height
+            )
+            widths[node_id] = width
+            heights[node_id] = height
+        for vid in segmented.virtual:
+            widths[vid] = 1.0
+            heights[vid] = 1.0
+
+        xs, ys = assign_coordinates(
+            ordered, widths, heights, segmented.segments,
+            self.h_gap, self.v_gap,
+        )
+
+        nodes: Dict[str, LayoutNode] = {}
+        for node_id in node_ids:
+            nodes[node_id] = LayoutNode(
+                node_id=node_id, x=xs[node_id], y=ys[node_id],
+                width=widths[node_id], height=heights[node_id],
+                label=graph.node(node_id).label, rank=rank[node_id],
+            )
+
+        edges: List[LayoutEdge] = []
+        path_cursor = 0
+        for index, edge in enumerate(graph.edges):
+            if edge.src == edge.dst:
+                # self-loop: a small triangle beside the node
+                node = nodes[edge.src]
+                edges.append(LayoutEdge(edge.src, edge.dst, [
+                    Point(node.right, node.y),
+                    Point(node.right + self.h_gap, node.y),
+                    Point(node.right, node.y + 4.0),
+                ]))
+                continue
+            chain = segmented.edge_paths[path_cursor]
+            path_cursor += 1
+            points = [Point(xs[n], ys[n]) for n in chain]
+            if index in reversed_indices:
+                points.reverse()
+            # clip endpoints to the node borders (vertical flow)
+            src_node, dst_node = nodes[edge.src], nodes[edge.dst]
+            points[0] = Point(points[0].x, src_node.bottom
+                              if points[0].y <= points[1].y
+                              else src_node.top)
+            points[-1] = Point(points[-1].x, dst_node.top
+                               if points[-1].y >= points[-2].y
+                               else dst_node.bottom)
+            edges.append(LayoutEdge(edge.src, edge.dst, points))
+
+        width = max((n.right for n in nodes.values()), default=0.0)
+        height = max((n.bottom for n in nodes.values()), default=0.0)
+        return Layout(nodes, edges, width, height)
+
+
+def layout_graph(graph: Digraph, **kwargs) -> Layout:
+    """One-shot convenience wrapper over :class:`LayeredLayout`."""
+    return LayeredLayout(**kwargs).layout(graph)

@@ -1,0 +1,112 @@
+"""Force-directed layout (the GraphViz ``neato`` equivalent).
+
+The hierarchical engine is right for MAL plans (they are DAGs), but
+ZGrviewer also displays arbitrary graphs; this Fruchterman–Reingold
+implementation (vectorised with numpy) covers cyclic or undirected-ish
+inputs where layering makes no sense.  Deterministic: initial positions
+come from a seeded generator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dot.graph import Digraph
+from repro.layout.geometry import (
+    Layout,
+    LayoutEdge,
+    LayoutNode,
+    Point,
+    node_size_for_label,
+)
+
+
+class ForceLayout:
+    """Fruchterman–Reingold spring embedding.
+
+    Args:
+        iterations: simulation steps.
+        area_per_node: target canvas area per node (controls spread).
+        seed: RNG seed for the initial placement.
+    """
+
+    def __init__(self, iterations: int = 120, area_per_node: float = 40000.0,
+                 seed: int = 42) -> None:
+        self.iterations = iterations
+        self.area_per_node = area_per_node
+        self.seed = seed
+
+    def layout(self, graph: Digraph) -> Layout:
+        """Embed ``graph``; node boxes sized from labels, straight edges."""
+        node_ids = list(graph.nodes)
+        count = len(node_ids)
+        if count == 0:
+            return Layout({}, [], 0.0, 0.0)
+        index = {node_id: i for i, node_id in enumerate(node_ids)}
+        rng = random.Random(self.seed)
+        side = math.sqrt(count * self.area_per_node)
+        positions = np.array(
+            [[rng.uniform(0, side), rng.uniform(0, side)] for _ in node_ids]
+        )
+        if count > 1:
+            k = math.sqrt(side * side / count)  # ideal spring length
+            edges = np.array(
+                [
+                    (index[e.src], index[e.dst])
+                    for e in graph.edges if e.src != e.dst
+                ],
+                dtype=int,
+            ).reshape(-1, 2)
+            temperature = side / 10.0
+            cooling = temperature / (self.iterations + 1)
+            for _step in range(self.iterations):
+                delta = positions[:, None, :] - positions[None, :, :]
+                distance = np.linalg.norm(delta, axis=2)
+                np.fill_diagonal(distance, 1.0)
+                distance = np.maximum(distance, 0.01)
+                # repulsion: k^2 / d away from every other node
+                repulse = (k * k / distance**2)[:, :, None] * delta / \
+                    distance[:, :, None]
+                displacement = repulse.sum(axis=1)
+                # attraction along edges: d^2 / k toward the neighbour
+                if len(edges):
+                    src, dst = edges[:, 0], edges[:, 1]
+                    edge_delta = positions[src] - positions[dst]
+                    edge_distance = np.maximum(
+                        np.linalg.norm(edge_delta, axis=1, keepdims=True),
+                        0.01,
+                    )
+                    pull = edge_delta * edge_distance / k
+                    np.add.at(displacement, src, -pull)
+                    np.add.at(displacement, dst, pull)
+                length = np.maximum(
+                    np.linalg.norm(displacement, axis=1, keepdims=True),
+                    0.01,
+                )
+                positions += displacement / length * np.minimum(
+                    length, temperature
+                )
+                temperature = max(temperature - cooling, 0.01)
+        positions -= positions.min(axis=0, keepdims=True)
+        nodes: Dict[str, LayoutNode] = {}
+        for node_id in node_ids:
+            x, y = positions[index[node_id]]
+            width, height = node_size_for_label(graph.node(node_id).label)
+            nodes[node_id] = LayoutNode(
+                node_id=node_id, x=float(x) + width / 2,
+                y=float(y) + height / 2, width=width, height=height,
+                label=graph.node(node_id).label, rank=0,
+            )
+        layout_edges = []
+        for edge in graph.edges:
+            src, dst = nodes[edge.src], nodes[edge.dst]
+            layout_edges.append(LayoutEdge(edge.src, edge.dst, [
+                Point(src.x, src.y), Point(dst.x, dst.y),
+            ]))
+        width = max(n.right for n in nodes.values())
+        height = max(n.bottom for n in nodes.values())
+        return Layout(nodes, layout_edges, width, height)

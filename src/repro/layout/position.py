@@ -1,0 +1,103 @@
+"""Coordinate assignment: x positions within each layer, y per rank.
+
+Nodes are first packed left-to-right with their real widths, then nudged
+toward the mean x of their neighbours for a few iterations (a light
+version of the priority method) while never re-introducing overlaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def assign_coordinates(
+    layers: List[List[str]],
+    widths: Dict[str, float],
+    heights: Dict[str, float],
+    segments: Sequence[Tuple[str, str]],
+    h_gap: float = 30.0,
+    v_gap: float = 40.0,
+    iterations: int = 4,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Compute centre coordinates for every (virtual) node.
+
+    Returns:
+        (xs, ys): centre x and y per node id.
+    """
+    neighbours: Dict[str, List[str]] = {}
+    for src, dst in segments:
+        neighbours.setdefault(src, []).append(dst)
+        neighbours.setdefault(dst, []).append(src)
+
+    xs: Dict[str, float] = {}
+    for layer in layers:
+        cursor = 0.0
+        for node in layer:
+            width = widths.get(node, 1.0)
+            xs[node] = cursor + width / 2
+            cursor += width + h_gap
+
+    for _round in range(iterations):
+        for layer in layers:
+            desired = []
+            for node in layer:
+                adjacent = neighbours.get(node, [])
+                if adjacent:
+                    desired.append(sum(xs[a] for a in adjacent) / len(adjacent))
+                else:
+                    desired.append(xs[node])
+            _resolve_overlaps(layer, desired, widths, xs, h_gap)
+
+    # normalise to start at 0
+    min_left = min(
+        (xs[n] - widths.get(n, 1.0) / 2 for layer in layers for n in layer),
+        default=0.0,
+    )
+    for node in xs:
+        xs[node] -= min_left
+
+    ys: Dict[str, float] = {}
+    cursor_y = 0.0
+    for layer in layers:
+        layer_height = max((heights.get(n, 1.0) for n in layer), default=1.0)
+        centre = cursor_y + layer_height / 2
+        for node in layer:
+            ys[node] = centre
+        cursor_y += layer_height + v_gap
+    return xs, ys
+
+
+def _resolve_overlaps(layer: List[str], desired: List[float],
+                      widths: Dict[str, float], xs: Dict[str, float],
+                      h_gap: float) -> None:
+    """Place nodes as close to their desired x as possible, keeping the
+    layer order and the minimum gap between boxes."""
+    count = len(layer)
+    if count == 0:
+        return
+
+    def gap_between(left_index: int, right_index: int) -> float:
+        return (
+            widths.get(layer[left_index], 1.0) / 2 + h_gap
+            + widths.get(layer[right_index], 1.0) / 2
+        )
+
+    pos = [0.0] * count
+    # forward: honour desired positions, never overlapping the left box
+    for index in range(count):
+        pos[index] = desired[index]
+        if index > 0:
+            pos[index] = max(
+                pos[index], pos[index - 1] + gap_between(index - 1, index)
+            )
+    # backward: pull boxes that drifted right back toward desired,
+    # bounded by their right neighbour
+    for index in range(count - 2, -1, -1):
+        if pos[index] > desired[index]:
+            limit = pos[index + 1] - gap_between(index, index + 1)
+            pos[index] = max(desired[index], min(pos[index], limit))
+    # forward fix-up: the backward pass may have squeezed a left gap
+    for index in range(1, count):
+        pos[index] = max(pos[index], pos[index - 1] + gap_between(index - 1, index))
+    for node, x in zip(layer, pos):
+        xs[node] = x

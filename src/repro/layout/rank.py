@@ -1,0 +1,62 @@
+"""Layer (rank) assignment.
+
+Longest-path layering: every node's rank is the length of the longest
+path from any source, so all edges point strictly downward.  A pulling
+pass then tightens sources toward their nearest successor, avoiding the
+classic longest-path artefact of all sources piling into rank 0 far away
+from their single consumer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import LayoutError
+
+
+def assign_ranks(node_ids: List[str],
+                 edges: List[Tuple[str, str]]) -> Dict[str, int]:
+    """Rank every node; edges must form a DAG over ``node_ids``.
+
+    Raises:
+        LayoutError: if a cycle sneaks through (internal error).
+    """
+    indegree = {n: 0 for n in node_ids}
+    out: Dict[str, List[str]] = {n: [] for n in node_ids}
+    ins: Dict[str, List[str]] = {n: [] for n in node_ids}
+    for src, dst in edges:
+        indegree[dst] += 1
+        out[src].append(dst)
+        ins[dst].append(src)
+    rank = {n: 0 for n in node_ids}
+    ready = deque(n for n in node_ids if indegree[n] == 0)
+    seen = 0
+    while ready:
+        node = ready.popleft()
+        seen += 1
+        for succ in out[node]:
+            rank[succ] = max(rank[succ], rank[node] + 1)
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if seen != len(node_ids):
+        raise LayoutError("rank assignment saw a cycle")
+    # tighten: pull nodes without predecessors down to just above their
+    # earliest successor (keeps e.g. late-bound columns near their use)
+    for node in node_ids:
+        if not ins[node] and out[node]:
+            earliest = min(rank[s] for s in out[node])
+            rank[node] = max(rank[node], earliest - 1)
+    return rank
+
+
+def layers_from_ranks(rank: Dict[str, int]) -> List[List[str]]:
+    """Group node ids per rank, 0-based and dense."""
+    if not rank:
+        return []
+    depth = max(rank.values()) + 1
+    layers: List[List[str]] = [[] for _ in range(depth)]
+    for node, r in rank.items():
+        layers[r].append(node)
+    return layers

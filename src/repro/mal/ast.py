@@ -1,0 +1,270 @@
+"""MAL abstract syntax: variables, type specs, instructions, programs.
+
+A MAL plan is a ``function ... end`` block containing a straight-line
+sequence of instructions.  Each instruction assigns the results of a
+``module.function(args)`` call to zero or more variables::
+
+    X_10:bat[:oid,:int] := sql.bind(X_2,"sys","lineitem","l_partkey",0);
+
+Variables are write-once (SSA-like), which is what makes the plan a
+dataflow DAG: an edge runs from the instruction defining a variable to
+every instruction using it.  The Stethoscope exploits exactly this
+property — the plan's dot file is that DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import MalError
+from repro.storage.types import MalType, OID, format_value, type_by_name
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """A MAL type annotation: a scalar atom or a ``bat[:head,:tail]``."""
+
+    kind: str  # "scalar" | "bat" | "any"
+    head: Optional[MalType] = None
+    tail: Optional[MalType] = None
+
+    def __str__(self) -> str:
+        if self.kind == "scalar":
+            return f":{self.tail.name}"  # type: ignore[union-attr]
+        if self.kind == "bat":
+            head = self.head.name if self.head else "oid"
+            tail = self.tail.name if self.tail else "any"
+            return f":bat[:{head},:{tail}]"
+        return ":any"
+
+    @property
+    def is_bat(self) -> bool:
+        return self.kind == "bat"
+
+
+ANY = TypeSpec("any")
+
+
+def scalar_of(name_or_type: Union[str, MalType]) -> TypeSpec:
+    """TypeSpec for a scalar atom, by name or MalType."""
+    mal_type = (
+        type_by_name(name_or_type) if isinstance(name_or_type, str) else name_or_type
+    )
+    return TypeSpec("scalar", tail=mal_type)
+
+
+def bat_of(tail: Union[str, MalType], head: Union[str, MalType] = OID) -> TypeSpec:
+    """TypeSpec for a BAT with the given tail (and oid head by default)."""
+    tail_type = type_by_name(tail) if isinstance(tail, str) else tail
+    head_type = type_by_name(head) if isinstance(head, str) else head
+    return TypeSpec("bat", head=head_type, tail=tail_type)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to a MAL variable by name (e.g. ``X_10``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal argument with an optional explicit type annotation."""
+
+    value: Any
+    mal_type: Optional[MalType] = None
+
+    def __str__(self) -> str:
+        text = format_value(self.value)
+        if self.mal_type is not None and self.value is not None and not isinstance(
+            self.value, str
+        ):
+            return f"{text}:{self.mal_type.name}"
+        return text
+
+
+Argument = Union[Var, Const]
+
+
+@dataclass
+class MalInstruction:
+    """One MAL statement.
+
+    Attributes:
+        results: names of the variables assigned (may be empty for pure
+            side-effect calls such as ``sql.exportResult``).
+        module: MAL module name (``algebra``, ``bat``, ...).
+        function: function name inside the module (``leftjoin``, ...).
+        args: positional arguments, each a :class:`Var` or :class:`Const`.
+        pc: program counter — the index of this instruction inside its
+            program, the key that maps trace events to dot-file nodes.
+    """
+
+    results: List[str]
+    module: str
+    function: str
+    args: List[Argument]
+    pc: int = -1
+
+    @property
+    def qualified_name(self) -> str:
+        """``module.function`` as printed in plans and traces."""
+        return f"{self.module}.{self.function}"
+
+    def uses(self) -> Iterator[str]:
+        """Names of variables this instruction reads."""
+        for arg in self.args:
+            if isinstance(arg, Var):
+                yield arg.name
+
+    def defines(self) -> Iterator[str]:
+        """Names of variables this instruction writes."""
+        return iter(self.results)
+
+    def __str__(self) -> str:
+        from repro.mal.printer import format_instruction
+
+        return format_instruction(self)
+
+
+class MalProgram:
+    """A MAL function body: an ordered list of instructions plus types.
+
+    Instructions are appended via :meth:`add`; variable names are unique
+    (write-once) and fresh names can be drawn from :meth:`new_var`.
+    """
+
+    def __init__(self, name: str = "user.main",
+                 properties: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.properties: Dict[str, Any] = dict(properties or {})
+        self.instructions: List[MalInstruction] = []
+        self.var_types: Dict[str, TypeSpec] = {}
+        self._counter = 0
+        #: set by the dataflow optimizer pass; the interpreter consults it.
+        self.dataflow_enabled = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def new_var(self, type_spec: TypeSpec = ANY) -> str:
+        """Allocate a fresh variable name (``X_<n>``) with a type."""
+        while True:
+            name = f"X_{self._counter}"
+            self._counter += 1
+            if name not in self.var_types:
+                self.var_types[name] = type_spec
+                return name
+
+    def declare(self, name: str, type_spec: TypeSpec = ANY) -> str:
+        """Register an externally chosen variable name."""
+        if name in self.var_types:
+            raise MalError(f"variable {name} already declared")
+        self.var_types[name] = type_spec
+        return name
+
+    def add(self, module: str, function: str, args: Sequence[Argument] = (),
+            results: Sequence[str] = ()) -> MalInstruction:
+        """Append an instruction; result variables must be declared or are
+        auto-declared with unknown type."""
+        for res in results:
+            if res not in self.var_types:
+                self.var_types[res] = ANY
+        instr = MalInstruction(list(results), module, function, list(args),
+                               pc=len(self.instructions))
+        self.instructions.append(instr)
+        return instr
+
+    def call(self, module: str, function: str, args: Sequence[Argument] = (),
+             result_type: TypeSpec = ANY) -> Var:
+        """Append a single-result instruction and return a Var for it."""
+        result = self.new_var(result_type)
+        self.add(module, function, args, [result])
+        return Var(result)
+
+    def renumber(self) -> None:
+        """Re-assign pcs after structural edits (optimizer passes)."""
+        for pc, instr in enumerate(self.instructions):
+            instr.pc = pc
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[MalInstruction]:
+        return iter(self.instructions)
+
+    def type_of(self, var_name: str) -> TypeSpec:
+        """Declared type of a variable (``ANY`` when unknown)."""
+        return self.var_types.get(var_name, ANY)
+
+    def defining_instruction(self, var_name: str) -> Optional[MalInstruction]:
+        """The instruction that defines ``var_name``, if any."""
+        for instr in self.instructions:
+            if var_name in instr.results:
+                return instr
+        return None
+
+    def def_sites(self) -> Dict[str, int]:
+        """Map variable name -> pc of its defining instruction."""
+        sites: Dict[str, int] = {}
+        for instr in self.instructions:
+            for res in instr.results:
+                if res not in sites:
+                    sites[res] = instr.pc
+        return sites
+
+    def dependencies(self) -> Dict[int, Set[int]]:
+        """Dataflow dependencies: pc -> set of pcs it depends on.
+
+        An instruction depends on the defining instruction of each of its
+        argument variables.  Because variables are write-once the relation
+        is acyclic, so the result is the DAG drawn in the dot file.
+        """
+        sites = self.def_sites()
+        deps: Dict[int, Set[int]] = {}
+        for instr in self.instructions:
+            wanted: Set[int] = set()
+            for used in instr.uses():
+                site = sites.get(used)
+                if site is not None and site != instr.pc:
+                    wanted.add(site)
+            deps[instr.pc] = wanted
+        return deps
+
+    def users(self) -> Dict[str, List[int]]:
+        """Map variable name -> pcs of instructions that read it."""
+        out: Dict[str, List[int]] = {}
+        for instr in self.instructions:
+            for used in instr.uses():
+                out.setdefault(used, []).append(instr.pc)
+        return out
+
+    def validate(self) -> None:
+        """Check SSA discipline and use-before-def; raises MalError."""
+        defined: Set[str] = set()
+        for instr in self.instructions:
+            for used in instr.uses():
+                if used not in defined:
+                    raise MalError(
+                        f"pc={instr.pc}: variable {used} used before definition"
+                    )
+            for res in instr.results:
+                if res in defined:
+                    raise MalError(
+                        f"pc={instr.pc}: variable {res} assigned twice"
+                    )
+                defined.add(res)
+
+    def __str__(self) -> str:
+        from repro.mal.printer import format_program
+
+        return format_program(self)

@@ -1,0 +1,188 @@
+"""A GDB-like MAL debugger (``mdb``).
+
+Paper §2: "MonetDB provides a GDB-like MAL debugger for runtime
+inspection.  However, further improvements could be gained by having a
+visual assistance tool" — Stethoscope is that tool, but the textual
+debugger is part of the substrate it improves on, so it is reproduced
+here: breakpoints (by pc or by ``module.function``), single-stepping,
+continue-to-break, variable inspection with BAT previews, and source
+listing around the current instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.errors import MalRuntimeError
+from repro.mal.ast import MalProgram
+from repro.mal.interpreter import EvalContext, execute_instruction
+from repro.mal.printer import format_instruction
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+
+
+class Breakpoint:
+    """A break condition: a pc, or every call of ``module.function``."""
+
+    def __init__(self, spec: Union[int, str]) -> None:
+        self.spec = spec
+
+    def hits(self, instr) -> bool:
+        if isinstance(self.spec, int):
+            return instr.pc == self.spec
+        return instr.qualified_name == self.spec
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Breakpoint({self.spec})"
+
+
+class MalDebugger:
+    """Interactive execution of one MAL program.
+
+    Typical session::
+
+        mdb = MalDebugger(catalog, program)
+        mdb.break_at("algebra.leftjoin")
+        mdb.cont()                 # run to the breakpoint
+        print(mdb.list_source())   # where am I?
+        print(mdb.inspect("X_10")) # look at a BAT
+        mdb.step()                 # execute the join
+        mdb.cont()                 # run to completion
+    """
+
+    def __init__(self, catalog: Catalog, program: MalProgram) -> None:
+        program.validate()
+        self.program = program
+        self.ctx = EvalContext(catalog, program)
+        self.pc = 0
+        self.breakpoints: List[Breakpoint] = []
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # breakpoints
+    # ------------------------------------------------------------------
+
+    def break_at(self, spec: Union[int, str]) -> Breakpoint:
+        """Set a breakpoint at a pc or on a ``module.function``."""
+        if isinstance(spec, int) and not (
+            0 <= spec < len(self.program.instructions)
+        ):
+            raise MalRuntimeError(f"breakpoint pc {spec} outside the plan")
+        breakpoint_ = Breakpoint(spec)
+        self.breakpoints.append(breakpoint_)
+        return breakpoint_
+
+    def clear_breakpoints(self) -> None:
+        self.breakpoints = []
+
+    def _breaks_on(self, instr) -> bool:
+        return any(b.hits(instr) for b in self.breakpoints)
+
+    # ------------------------------------------------------------------
+    # execution control
+    # ------------------------------------------------------------------
+
+    @property
+    def current_instruction(self):
+        """The instruction about to execute (None when finished)."""
+        if self.pc >= len(self.program.instructions):
+            return None
+        return self.program.instructions[self.pc]
+
+    def step(self) -> Optional[str]:
+        """Execute exactly one instruction; returns its text."""
+        instr = self.current_instruction
+        if instr is None:
+            self.finished = True
+            return None
+        execute_instruction(self.ctx, instr)
+        self.pc += 1
+        if self.pc >= len(self.program.instructions):
+            self.finished = True
+        return format_instruction(instr, self.program)
+
+    def next(self, count: int = 1) -> int:
+        """Execute up to ``count`` instructions; returns how many ran."""
+        ran = 0
+        for _ in range(count):
+            if self.step() is None:
+                break
+            ran += 1
+        return ran
+
+    def cont(self) -> Optional[int]:
+        """Run until the next breakpoint (returns its pc) or the end
+        (returns None).  The instruction at the breakpoint has *not*
+        executed yet, like gdb."""
+        first = True
+        while True:
+            instr = self.current_instruction
+            if instr is None:
+                self.finished = True
+                return None
+            # a breakpoint on the instruction we are already standing on
+            # does not re-trigger: cont() first steps off it, like gdb
+            if not first and self._breaks_on(instr):
+                return instr.pc
+            first = False
+            execute_instruction(self.ctx, instr)
+            self.pc += 1
+
+    def run_to_end(self) -> None:
+        """Ignore breakpoints and finish the program."""
+        while self.step() is not None:
+            pass
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def inspect(self, var_name: str, max_rows: int = 10) -> str:
+        """Describe a variable: scalars verbatim, BATs as a preview table."""
+        if var_name not in self.ctx.env:
+            return f"{var_name}: <undefined>"
+        value = self.ctx.env[var_name]
+        if isinstance(value, BAT):
+            lines = [
+                f"{var_name}: BAT[{'void' if value.is_void_head else 'oid'},"
+                f"{value.tail_type.name}] count={value.count()} "
+                f"bytes={value.bytes()}"
+            ]
+            for position, (head, tail) in enumerate(value.items()):
+                if position >= max_rows:
+                    lines.append(f"  ... {value.count() - max_rows} more")
+                    break
+                lines.append(f"  [{head}] {tail!r}")
+            return "\n".join(lines)
+        return f"{var_name}: {value!r}"
+
+    def variables(self) -> Dict[str, str]:
+        """One-line descriptions of all live variables."""
+        out = {}
+        for name, value in self.ctx.env.items():
+            if isinstance(value, BAT):
+                out[name] = f"BAT#{value.count()}:{value.tail_type.name}"
+            else:
+                out[name] = type(value).__name__
+        return out
+
+    def list_source(self, context: int = 3) -> str:
+        """Plan text around the current pc, gdb ``list`` style: the next
+        instruction is marked with ``=>``."""
+        lines = []
+        low = max(0, self.pc - context)
+        high = min(len(self.program.instructions), self.pc + context + 1)
+        for index in range(low, high):
+            marker = "=>" if index == self.pc else "  "
+            text = format_instruction(
+                self.program.instructions[index], self.program
+            )
+            lines.append(f"{marker} [{index:>4}] {text}")
+        return "\n".join(lines)
+
+    def where(self) -> str:
+        """One-line position report."""
+        instr = self.current_instruction
+        if instr is None:
+            return "at end of plan"
+        return f"pc={self.pc}: {format_instruction(instr, self.program)}"

@@ -1,0 +1,267 @@
+"""Sequential MAL interpreter with profiling hooks and a cost model.
+
+The interpreter executes a :class:`~repro.mal.ast.MalProgram` against a
+:class:`~repro.storage.Catalog`.  Every instruction execution produces an
+:class:`InstructionRun` record carrying the fields the MonetDB profiler
+reports (pc, thread, start/done timestamps in microseconds, elapsed usec,
+rss) — listeners such as :class:`repro.profiler.Profiler` turn those into
+trace events.
+
+Timing is *virtual* by default: a deterministic :class:`CostModel` assigns
+each instruction a duration from its operator class and input/output
+cardinalities, so traces are reproducible across machines.  Passing
+``realtime_scale > 0`` additionally sleeps proportionally to the modelled
+cost, which makes threaded dataflow runs exhibit genuine wall-clock
+parallelism (sleeps release the GIL).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MalRuntimeError
+from repro.mal.ast import Const, MalInstruction, MalProgram, Var
+from repro.mal.modules import lookup
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class InstructionRun:
+    """One executed instruction, as the profiler sees it.
+
+    ``start_usec``/``end_usec`` are microsecond timestamps on the query's
+    clock; ``usec`` their difference; ``rss_bytes`` the interpreter's
+    simulated resident set after the instruction; ``thread`` the worker
+    that ran it (always 0 for the sequential interpreter); ``rows`` the
+    output cardinality when the result is a BAT.
+    """
+
+    pc: int
+    stmt: str
+    module: str
+    function: str
+    start_usec: int
+    end_usec: int
+    usec: int
+    thread: int
+    rss_bytes: int
+    rows: int
+
+
+#: Listener protocol: called with ("start"|"done", run) around execution.
+RunListener = Callable[[str, InstructionRun], None]
+
+
+class CostModel:
+    """Deterministic per-instruction cost, in microseconds.
+
+    Costs are ``base + per_row * rows`` with operator-class coefficients
+    (joins cost more per row than scans; sorts get an ``n log n`` term).
+    The absolute values are not calibrated against any real machine — the
+    Stethoscope cares about *relative* cost structure: which instructions
+    dominate, which run long enough to stay RED on screen.
+    """
+
+    BASE_USEC = 2.0
+
+    #: (base usec, usec per input row) per operator class.
+    _CLASSES = {
+        "bind": (5.0, 0.0),
+        "scan": (4.0, 0.05),
+        "join": (8.0, 0.12),
+        "group": (8.0, 0.15),
+        "sort": (8.0, 0.0),  # n log n handled separately
+        "aggr": (4.0, 0.05),
+        "calc": (2.0, 0.04),
+        "pack": (4.0, 0.02),
+        "admin": (1.0, 0.0),
+        "result": (6.0, 0.01),
+    }
+
+    _FUNCTION_CLASS = {
+        "sql.bind": "bind",
+        "sql.tid": "bind",
+        "algebra.select": "scan",
+        "algebra.thetaselect": "scan",
+        "algebra.likeselect": "scan",
+        "algebra.leftjoin": "join",
+        "algebra.leftfetchjoin": "join",
+        "algebra.join": "join",
+        "algebra.semijoin": "join",
+        "algebra.kdifference": "join",
+        "algebra.sortTail": "sort",
+        "algebra.sortReverseTail": "sort",
+        "group.new": "group",
+        "group.derive": "group",
+        "mat.pack": "pack",
+        "sql.resultSet": "result",
+        "sql.rsColumn": "result",
+        "sql.exportResult": "result",
+    }
+
+    def cost_usec(self, instr: MalInstruction, inputs: Sequence[Any],
+                  outputs: Sequence[Any]) -> int:
+        """Modelled duration of one instruction execution."""
+        qname = instr.qualified_name
+        klass = self._FUNCTION_CLASS.get(qname)
+        if klass is None:
+            if instr.module in ("language", "mtime"):
+                klass = "admin"
+            elif instr.module in ("calc", "batcalc"):
+                klass = "calc"
+            elif instr.module == "aggr":
+                klass = "aggr"
+            elif instr.module == "bat":
+                klass = "calc"
+            else:
+                klass = "admin"
+        base, per_row = self._CLASSES[klass]
+        rows_in = sum(len(v) for v in inputs if isinstance(v, BAT))
+        cost = base + per_row * rows_in
+        if klass == "sort" and rows_in > 1:
+            cost += 0.08 * rows_in * math.log2(rows_in)
+        return max(1, int(round(cost)))
+
+
+class EvalContext:
+    """Mutable interpreter state shared with instruction implementations."""
+
+    def __init__(self, catalog: Catalog, program: Optional[MalProgram] = None) -> None:
+        self.catalog = catalog
+        self.program = program
+        self.env: Dict[str, Any] = {}
+        self.result_sets: List[Any] = []
+        self.affected_rows = 0
+
+    def value_of(self, arg) -> Any:
+        """Evaluate one instruction argument against the environment."""
+        if isinstance(arg, Var):
+            try:
+                return self.env[arg.name]
+            except KeyError:
+                raise MalRuntimeError(f"undefined variable {arg.name}") from None
+        if isinstance(arg, Const):
+            return arg.value
+        raise MalRuntimeError(f"bad argument {arg!r}")
+
+    def rss_bytes(self) -> int:
+        """Simulated resident set: bytes of all live BATs in the env."""
+        return sum(v.bytes() for v in self.env.values() if isinstance(v, BAT))
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a MAL program."""
+
+    result_sets: List[Any]
+    runs: List[InstructionRun]
+    total_usec: int
+    affected_rows: int = 0
+
+    @property
+    def first(self):
+        """The first (usually only) result set, or None."""
+        return self.result_sets[0] if self.result_sets else None
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Rows of the first result set ([] when none)."""
+        return self.first.rows() if self.first else []
+
+
+def execute_instruction(ctx: EvalContext, instr: MalInstruction) -> Tuple[list, list]:
+    """Evaluate one instruction in ``ctx``; returns (inputs, outputs).
+
+    Results are bound into the environment.  Multi-result instructions
+    must return exactly as many values as they declare.
+    """
+    impl = lookup(instr.module, instr.function)
+    inputs = [ctx.value_of(arg) for arg in instr.args]
+    try:
+        out = impl(ctx, instr, inputs)
+    except MalRuntimeError:
+        raise
+    except Exception as exc:
+        raise MalRuntimeError(
+            f"pc={instr.pc} {instr.qualified_name}: {exc}"
+        ) from exc
+    if len(instr.results) <= 1:
+        outputs = [out] if instr.results else []
+    else:
+        if not isinstance(out, tuple) or len(out) != len(instr.results):
+            raise MalRuntimeError(
+                f"pc={instr.pc} {instr.qualified_name}: expected "
+                f"{len(instr.results)} results"
+            )
+        outputs = list(out)
+    for name, value in zip(instr.results, outputs):
+        ctx.env[name] = value
+    return inputs, outputs
+
+
+class Interpreter:
+    """Reference (sequential) MAL interpreter.
+
+    Args:
+        catalog: catalog to resolve ``sql.bind``/``sql.tid`` against.
+        cost_model: duration model; defaults to :class:`CostModel`.
+        listener: optional profiler callback, invoked with
+            ``("start", run)`` before and ``("done", run)`` after every
+            instruction.
+        realtime_scale: when > 0, additionally sleep
+            ``cost_usec * realtime_scale`` microseconds per instruction.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 cost_model: Optional[CostModel] = None,
+                 listener: Optional[RunListener] = None,
+                 realtime_scale: float = 0.0) -> None:
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.listener = listener
+        self.realtime_scale = realtime_scale
+
+    def run(self, program: MalProgram) -> ExecutionResult:
+        """Execute ``program`` start to finish; returns its results and
+        the per-instruction run records."""
+        program.validate()
+        ctx = EvalContext(self.catalog, program)
+        clock = 0
+        runs: List[InstructionRun] = []
+        from repro.mal.printer import format_instruction
+
+        for instr in program.instructions:
+            stmt = format_instruction(instr, program)
+            start_run = InstructionRun(
+                pc=instr.pc, stmt=stmt, module=instr.module,
+                function=instr.function, start_usec=clock, end_usec=clock,
+                usec=0, thread=0, rss_bytes=ctx.rss_bytes(), rows=0,
+            )
+            if self.listener is not None:
+                self.listener("start", start_run)
+            inputs, outputs = execute_instruction(ctx, instr)
+            cost = self.cost_model.cost_usec(instr, inputs, outputs)
+            if self.realtime_scale > 0:
+                time.sleep(cost * self.realtime_scale / 1_000_000.0)
+            clock += cost
+            rows = 0
+            for value in outputs:
+                if isinstance(value, BAT):
+                    rows = len(value)
+                    break
+            done_run = InstructionRun(
+                pc=instr.pc, stmt=stmt, module=instr.module,
+                function=instr.function, start_usec=start_run.start_usec,
+                end_usec=clock, usec=cost, thread=0,
+                rss_bytes=ctx.rss_bytes(), rows=rows,
+            )
+            runs.append(done_run)
+            if self.listener is not None:
+                self.listener("done", done_run)
+        return ExecutionResult(
+            result_sets=ctx.result_sets, runs=runs, total_usec=clock,
+            affected_rows=ctx.affected_rows,
+        )

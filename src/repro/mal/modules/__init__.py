@@ -1,0 +1,116 @@
+"""MAL instruction set: a registry of ``module.function`` implementations.
+
+Each implementation is a Python callable ``impl(ctx, instr, args)`` where
+
+* ``ctx`` is the interpreter's :class:`~repro.mal.interpreter.EvalContext`
+  (catalog access, result-set collection, variable environment);
+* ``instr`` is the :class:`~repro.mal.ast.MalInstruction` being executed
+  (implementations that need type annotations or literal argument
+  structure can inspect it);
+* ``args`` is the list of evaluated argument values (BATs and scalars).
+
+Implementations return a single value, or a tuple for multi-result
+instructions such as ``group.new``.
+
+Importing this package loads every standard module so that the registry
+is fully populated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import MalRuntimeError
+
+MalImplementation = Callable[..., Any]
+
+_REGISTRY: Dict[str, MalImplementation] = {}
+
+
+def register(qualified_name: str) -> Callable[[MalImplementation], MalImplementation]:
+    """Decorator registering an implementation under ``module.function``."""
+
+    def wrap(impl: MalImplementation) -> MalImplementation:
+        if qualified_name in _REGISTRY:
+            raise MalRuntimeError(f"duplicate MAL implementation {qualified_name}")
+        _REGISTRY[qualified_name] = impl
+        return impl
+
+    return wrap
+
+
+def lookup(module: str, function: str) -> MalImplementation:
+    """Find the implementation of ``module.function``.
+
+    Raises:
+        MalRuntimeError: when the instruction is not implemented.
+    """
+    try:
+        return _REGISTRY[f"{module}.{function}"]
+    except KeyError:
+        raise MalRuntimeError(
+            f"unknown MAL instruction {module}.{function}"
+        ) from None
+
+
+def is_registered(module: str, function: str) -> bool:
+    """True when ``module.function`` has an implementation."""
+    return f"{module}.{function}" in _REGISTRY
+
+
+def registered_names() -> list:
+    """All registered qualified names, sorted (for docs and tests)."""
+    return sorted(_REGISTRY)
+
+
+def reference_text() -> str:
+    """The MAL instruction-set reference, generated from the registry.
+
+    One section per module, one entry per function with its docstring —
+    the stand-in for the MAL reference manual the paper cites ([9]).
+    """
+    by_module: Dict[str, list] = {}
+    for qualified_name, impl in _REGISTRY.items():
+        module, function = qualified_name.split(".", 1)
+        by_module.setdefault(module, []).append((function, impl))
+    lines = ["# MAL instruction-set reference", ""]
+    lines.append(
+        "Generated from the implementation registry "
+        "(`repro.mal.modules.reference_text()`); regenerate after adding "
+        "instructions."
+    )
+    lines.append("")
+    for module in sorted(by_module):
+        lines.append(f"## module `{module}`")
+        lines.append("")
+        for function, impl in sorted(by_module[module]):
+            doc = (impl.__doc__ or "(undocumented)").strip()
+            doc = " ".join(line.strip() for line in doc.splitlines())
+            lines.append(f"* **`{module}.{function}`** — {doc}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# Populate the registry.
+from repro.mal.modules import (  # noqa: E402  (import-time registration)
+    aggr,
+    algebra,
+    batcalc,
+    batmod,
+    batmtime,
+    batstr,
+    calc,
+    groupmod,
+    languagemod,
+    mat,
+    mtime,
+    sqlmod,
+)
+
+__all__ = [
+    "MalImplementation",
+    "is_registered",
+    "lookup",
+    "register",
+    "registered_names",
+]

@@ -1,0 +1,121 @@
+"""The MAL ``algebra`` module: selections, joins, projections, ordering.
+
+These carry the old (2012-era) MonetDB semantics the paper's plans use:
+``algebra.select`` returns qualifying (oid, value) associations and
+``algebra.leftjoin`` matches a tail column against a head column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MalRuntimeError, MalTypeError
+from repro.mal.modules import register
+from repro.storage.bat import BAT
+
+
+def _require_bat(value, name: str) -> BAT:
+    if not isinstance(value, BAT):
+        raise MalTypeError(f"{name} expects a BAT argument, got {type(value).__name__}")
+    return value
+
+
+@register("algebra.select")
+def select(ctx, instr, args):
+    """``select(b, val)`` point or ``select(b, low, high[, li, hi])`` range
+    selection over the tail."""
+    bat = _require_bat(args[0], "algebra.select")
+    if len(args) == 2:
+        return bat.select(args[1])
+    if len(args) == 3:
+        return bat.select(args[1], args[2])
+    if len(args) == 5:
+        return bat.select(args[1], args[2], include_low=bool(args[3]),
+                          include_high=bool(args[4]))
+    raise MalRuntimeError("algebra.select expects 2, 3 or 5 arguments")
+
+
+@register("algebra.thetaselect")
+def thetaselect(ctx, instr, args):
+    """``thetaselect(b, val, op)`` selection with a comparison operator."""
+    bat = _require_bat(args[0], "algebra.thetaselect")
+    return bat.thetaselect(args[1], str(args[2]))
+
+
+@register("algebra.likeselect")
+def likeselect(ctx, instr, args):
+    """``likeselect(b, pattern)`` SQL LIKE selection over string tails."""
+    bat = _require_bat(args[0], "algebra.likeselect")
+    return bat.likeselect(str(args[1]))
+
+
+@register("algebra.leftjoin")
+def leftjoin(ctx, instr, args):
+    """``leftjoin(a, b)``: match a's tail against b's head, keep a's order."""
+    return _require_bat(args[0], "algebra.leftjoin").leftjoin(
+        _require_bat(args[1], "algebra.leftjoin")
+    )
+
+
+@register("algebra.leftfetchjoin")
+def leftfetchjoin(ctx, instr, args):
+    """``leftfetchjoin(a, b)``: positional projection, errors on misses."""
+    return _require_bat(args[0], "algebra.leftfetchjoin").leftfetchjoin(
+        _require_bat(args[1], "algebra.leftfetchjoin")
+    )
+
+
+@register("algebra.join")
+def join(ctx, instr, args):
+    """``join(a, b)``: equi-join a's tail with b's head."""
+    return _require_bat(args[0], "algebra.join").join(
+        _require_bat(args[1], "algebra.join")
+    )
+
+
+@register("algebra.semijoin")
+def semijoin(ctx, instr, args):
+    """``semijoin(a, b)``: keep a's associations whose head occurs in b."""
+    return _require_bat(args[0], "algebra.semijoin").semijoin(
+        _require_bat(args[1], "algebra.semijoin")
+    )
+
+
+@register("algebra.kdifference")
+def kdifference(ctx, instr, args):
+    """``kdifference(a, b)``: drop a's associations whose head occurs in b."""
+    return _require_bat(args[0], "algebra.kdifference").kdifference(
+        _require_bat(args[1], "algebra.kdifference")
+    )
+
+
+@register("algebra.markT")
+def mark_t(ctx, instr, args):
+    """``markT(b[, base])``: renumber the head as a dense sequence."""
+    bat = _require_bat(args[0], "algebra.markT")
+    base = int(args[1]) if len(args) > 1 else 0
+    return bat.mark(base)
+
+
+@register("algebra.slice")
+def slice_(ctx, instr, args):
+    """``slice(b, first, last)``: positional window, both ends inclusive."""
+    bat = _require_bat(args[0], "algebra.slice")
+    return bat.slice_(int(args[1]), int(args[2]))
+
+
+@register("algebra.sortTail")
+def sort_tail(ctx, instr, args):
+    """``sortTail(b)``: ascending stable sort on tail values."""
+    return _require_bat(args[0], "algebra.sortTail").sort()
+
+
+@register("algebra.sortReverseTail")
+def sort_reverse_tail(ctx, instr, args):
+    """``sortReverseTail(b)``: descending stable sort on tail values."""
+    return _require_bat(args[0], "algebra.sortReverseTail").sort(reverse=True)
+
+
+@register("algebra.project")
+def project(ctx, instr, args):
+    """``project(b, v)``: constant tail ``v`` under b's head column."""
+    bat = _require_bat(args[0], "algebra.project")
+    return bat.project(args[1])

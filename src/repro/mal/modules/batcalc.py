@@ -1,0 +1,156 @@
+"""The MAL ``batcalc`` module: elementwise calculation over BATs.
+
+Each operation accepts (BAT, BAT), (BAT, scalar) or (scalar, BAT) operand
+combinations, mirroring MonetDB's overloads; nil propagates per element.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MalRuntimeError, MalTypeError
+from repro.mal.modules import register
+from repro.storage.bat import BAT
+from repro.storage.types import cast_value, nil, type_by_name
+
+_SYMBOL = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "and": "and",
+    "or": "or",
+}
+
+
+def _binary(name: str):
+    op = _SYMBOL[name]
+
+    def impl(ctx, instr, args):
+        a, b = args[0], args[1]
+        if isinstance(a, BAT) and isinstance(b, BAT):
+            return a.calc(b, op)
+        if isinstance(a, BAT):
+            return a.calc_const(b, op)
+        if isinstance(b, BAT):
+            return b.calc_const(a, op, swapped=True)
+        raise MalTypeError(f"batcalc.{name} needs at least one BAT operand")
+
+    impl.__doc__ = f"``batcalc.{name}``: elementwise {op} with nil propagation."
+    return impl
+
+
+for _name in _SYMBOL:
+    register(f"batcalc.{_name}")(_binary(_name))
+
+
+@register("batcalc.not")
+def not_(ctx, instr, args):
+    """``batcalc.not(b)``: elementwise boolean negation."""
+    bat = args[0]
+    if not isinstance(bat, BAT):
+        raise MalTypeError("batcalc.not expects a BAT")
+    out = bat.copy()
+    out.tail = [nil if v is nil else (not v) for v in bat.tail]
+    return out
+
+
+@register("batcalc.contains")
+def contains(ctx, instr, args):
+    """``batcalc.contains(b, members)``: elementwise SQL IN over the
+    member BAT's tail values.
+
+    Three-valued logic: a nil element yields nil; a non-member yields
+    nil (not false) when the member set itself contains nil, matching
+    ``x IN (subquery)`` semantics.
+    """
+    bat, members = args[0], args[1]
+    if not isinstance(bat, BAT) or not isinstance(members, BAT):
+        raise MalTypeError("batcalc.contains expects two BAT arguments")
+    member_set = {v for v in members.tail if v is not nil}
+    has_nil_member = any(v is nil for v in members.tail)
+    out = BAT(type_by_name("bit"))
+    out.head = None if bat.head is None else list(bat.head)
+    out.hseqbase = bat.hseqbase
+    tail = []
+    for value in bat.tail:
+        if value is nil:
+            tail.append(nil)
+        elif value in member_set:
+            tail.append(True)
+        elif has_nil_member:
+            tail.append(nil)
+        else:
+            tail.append(False)
+    out.tail = tail
+    return out
+
+
+@register("batcalc.isnil")
+def isnil(ctx, instr, args):
+    """``batcalc.isnil(b)``: elementwise nil test (never nil itself)."""
+    bat = args[0]
+    if not isinstance(bat, BAT):
+        raise MalTypeError("batcalc.isnil expects a BAT")
+    out = BAT(type_by_name("bit"))
+    out.head = None if bat.head is None else list(bat.head)
+    out.hseqbase = bat.hseqbase
+    out.tail = [v is nil for v in bat.tail]
+    return out
+
+
+@register("batcalc.ifthenelse")
+def ifthenelse(ctx, instr, args):
+    """``batcalc.ifthenelse(cond, t, f)`` with BAT condition and scalar or
+    BAT branches."""
+    cond = args[0]
+    if not isinstance(cond, BAT):
+        raise MalTypeError("batcalc.ifthenelse expects a BAT condition")
+
+    def pick(branch, index):
+        return branch.tail[index] if isinstance(branch, BAT) else branch
+
+    sample = None
+    tail = []
+    for index, flag in enumerate(cond.tail):
+        if flag is nil:
+            tail.append(nil)
+            continue
+        value = pick(args[1], index) if flag else pick(args[2], index)
+        tail.append(value)
+        if sample is None and value is not nil:
+            sample = value
+    from repro.storage.types import infer_type
+
+    out_type = infer_type(sample) if sample is not None else type_by_name("int")
+    out = BAT(out_type)
+    out.head = None if cond.head is None else list(cond.head)
+    out.hseqbase = cond.hseqbase
+    out.tail = [nil if v is nil else cast_value(v, out_type) for v in tail]
+    return out
+
+
+def _cast(type_name: str):
+    mal_type = type_by_name(type_name)
+
+    def impl(ctx, instr, args):
+        bat = args[0]
+        if not isinstance(bat, BAT):
+            raise MalTypeError(f"batcalc.{type_name} expects a BAT")
+        out = BAT(mal_type)
+        out.head = None if bat.head is None else list(bat.head)
+        out.hseqbase = bat.hseqbase
+        out.tail = [cast_value(v, mal_type) for v in bat.tail]
+        return out
+
+    impl.__doc__ = f"``batcalc.{type_name}(b)``: elementwise cast to {type_name}."
+    return impl
+
+
+for _type_name in ("bit", "int", "lng", "flt", "dbl", "str", "oid"):
+    register(f"batcalc.{_type_name}")(_cast(_type_name))

@@ -1,0 +1,77 @@
+"""The MAL ``bat`` module: BAT construction and column manipulation."""
+
+from __future__ import annotations
+
+from repro.errors import MalRuntimeError, MalTypeError
+from repro.mal.ast import Const
+from repro.mal.modules import register
+from repro.storage.bat import BAT
+from repro.storage.types import type_by_name
+
+
+def _require_bat(value, name: str) -> BAT:
+    if not isinstance(value, BAT):
+        raise MalTypeError(f"{name} expects a BAT argument, got {type(value).__name__}")
+    return value
+
+
+@register("bat.new")
+def new(ctx, instr, args):
+    """``bat.new(nil:oid, nil:<tail>)``: an empty BAT.
+
+    The tail type comes from the literal type annotation of the second
+    argument, or from the instruction's declared result type.
+    """
+    tail_type = None
+    if len(instr.args) >= 2 and isinstance(instr.args[1], Const):
+        tail_type = instr.args[1].mal_type
+    if tail_type is None and instr.results:
+        spec = None
+        if ctx.program is not None:
+            spec = ctx.program.type_of(instr.results[0])
+        if spec is not None and spec.is_bat and spec.tail is not None:
+            tail_type = spec.tail
+    if tail_type is None:
+        raise MalRuntimeError("bat.new cannot determine its tail type")
+    return BAT(tail_type)
+
+
+@register("bat.append")
+def append(ctx, instr, args):
+    """``bat.append(b, v)``: append a value; returns the same BAT."""
+    bat = _require_bat(args[0], "bat.append")
+    bat.append(args[1])
+    return bat
+
+
+@register("bat.insert")
+def insert(ctx, instr, args):
+    """``bat.insert(b, src)``: append all of src's tail values to b."""
+    bat = _require_bat(args[0], "bat.insert")
+    src = _require_bat(args[1], "bat.insert")
+    bat.extend(src.tail)
+    return bat
+
+
+@register("bat.reverse")
+def reverse(ctx, instr, args):
+    """``bat.reverse(b)``: swap head and tail columns."""
+    return _require_bat(args[0], "bat.reverse").reverse()
+
+
+@register("bat.mirror")
+def mirror(ctx, instr, args):
+    """``bat.mirror(b)``: (head, head) identity pairs."""
+    return _require_bat(args[0], "bat.mirror").mirror()
+
+
+@register("bat.copy")
+def copy(ctx, instr, args):
+    """``bat.copy(b)``: an independent copy."""
+    return _require_bat(args[0], "bat.copy").copy()
+
+
+@register("bat.setName")
+def set_name(ctx, instr, args):
+    """``bat.setName(b, name)``: administrative no-op kept for plan shape."""
+    return _require_bat(args[0], "bat.setName")

@@ -1,0 +1,24 @@
+"""The MAL ``language`` module: plan administration instructions.
+
+These carry no data; they exist so that plans keep the administrative
+instructions real MonetDB plans have — which is exactly what the paper's
+planned *selective pruning* feature (reproduced in
+:mod:`repro.core.pruning`) removes from the visualization.
+"""
+
+from __future__ import annotations
+
+from repro.mal.modules import register
+
+
+@register("language.pass")
+def pass_(ctx, instr, args):
+    """``language.pass(v)``: release a variable early; returns nothing."""
+    return None
+
+
+@register("language.dataflow")
+def dataflow(ctx, instr, args):
+    """``language.dataflow()``: marker admitting parallel interpretation of
+    the instructions that follow; a no-op for the sequential interpreter."""
+    return None

@@ -1,0 +1,37 @@
+"""The MAL ``mat`` module: merge-table operations.
+
+``mat.pack`` is the glue the *mitosis* optimizer relies on: after a plan
+fragment is replicated over horizontal partitions of a table, ``mat.pack``
+concatenates the per-partition results back into one BAT.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MalRuntimeError, MalTypeError
+from repro.mal.modules import register
+from repro.storage.bat import BAT
+
+
+@register("mat.pack")
+def pack(ctx, instr, args):
+    """``mat.pack(b1, b2, ...)``: concatenate partition results.
+
+    Head oids are preserved (the partitions carry disjoint oid ranges), so
+    positional relationships with the original table survive packing.
+    """
+    if not args:
+        raise MalRuntimeError("mat.pack needs at least one argument")
+    bats = []
+    for value in args:
+        if not isinstance(value, BAT):
+            raise MalTypeError("mat.pack expects BAT arguments")
+        bats.append(value)
+    out = BAT(bats[0].tail_type)
+    heads = []
+    tail = []
+    for bat in bats:
+        heads.extend(bat.heads())
+        tail.extend(bat.tail)
+    out.head = heads
+    out.tail = tail
+    return out

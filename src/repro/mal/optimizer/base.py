@@ -1,0 +1,57 @@
+"""Shared helpers for optimizer passes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.mal.ast import Argument, Const, MalInstruction, MalProgram, Var
+
+#: Instructions whose execution has effects beyond their result variables.
+#: Passes must never remove, duplicate or reorder these relative to each
+#: other.
+SIDE_EFFECTS: Set[str] = {
+    "sql.resultSet",
+    "sql.rsColumn",
+    "sql.exportResult",
+    "sql.affectedRows",
+    "sql.append",
+    "bat.append",
+    "bat.insert",
+    "language.dataflow",
+}
+
+#: Pure-but-stateful allocators: safe to remove when dead, unsafe to merge.
+ALLOCATORS: Set[str] = {"bat.new", "sql.mvc", "sql.resultSet"}
+
+
+def has_side_effects(instr: MalInstruction) -> bool:
+    """True when the instruction must be preserved regardless of uses."""
+    return instr.qualified_name in SIDE_EFFECTS
+
+
+def substitute_args(instr: MalInstruction,
+                    replacements: Dict[str, Argument]) -> None:
+    """Rewrite the instruction's Var arguments through a replacement map
+    (applied transitively for Var→Var chains)."""
+    new_args = []
+    for arg in instr.args:
+        while isinstance(arg, Var) and arg.name in replacements:
+            replacement = replacements[arg.name]
+            if isinstance(replacement, Var) and replacement.name == arg.name:
+                break
+            arg = replacement
+        new_args.append(arg)
+    instr.args = new_args
+
+
+def rebuild_program(source: MalProgram,
+                    instructions: Iterable[MalInstruction]) -> MalProgram:
+    """A program with the same identity/types but a new instruction list."""
+    out = MalProgram(source.name, dict(source.properties))
+    out.var_types = dict(source.var_types)
+    out.dataflow_enabled = source.dataflow_enabled
+    out._counter = source._counter
+    for instr in instructions:
+        out.instructions.append(instr)
+    out.renumber()
+    return out

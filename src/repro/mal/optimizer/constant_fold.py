@@ -1,0 +1,47 @@
+"""Constant folding: evaluate scalar ``calc``/``mtime`` operations whose
+arguments are all literals, replacing their uses with the literal result.
+
+TPC-H predicates profit directly: ``date '1998-12-01' - interval '90'
+day`` compiles to an ``mtime.adddays`` over constants, which this pass
+collapses so the selection runs against a plain literal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mal.ast import Argument, Const, MalProgram, Var
+from repro.mal.modules import is_registered, lookup
+from repro.mal.optimizer.base import rebuild_program, substitute_args
+from repro.storage.types import infer_type, nil
+
+
+class ConstantFold:
+    """Fold ``calc.*`` and ``mtime.*`` instructions over literal args."""
+
+    name = "constant_fold"
+
+    FOLDABLE_MODULES = ("calc", "mtime")
+
+    def run(self, program: MalProgram) -> MalProgram:
+        replacements: Dict[str, Argument] = {}
+        kept: List = []
+        for instr in program.instructions:
+            substitute_args(instr, replacements)
+            if (
+                instr.module in self.FOLDABLE_MODULES
+                and len(instr.results) == 1
+                and is_registered(instr.module, instr.function)
+                and all(isinstance(a, Const) for a in instr.args)
+            ):
+                impl = lookup(instr.module, instr.function)
+                try:
+                    value = impl(None, instr, [a.value for a in instr.args])
+                except Exception:
+                    kept.append(instr)  # fold failure: leave for runtime
+                    continue
+                mal_type = None if value is nil else infer_type(value)
+                replacements[instr.results[0]] = Const(value, mal_type)
+                continue
+            kept.append(instr)
+        return rebuild_program(program, kept)

@@ -1,0 +1,59 @@
+"""Common-subexpression elimination for pure MAL instructions.
+
+Two instructions compute the same value when they call the same function
+over the same arguments and neither has side effects nor allocates fresh
+mutable state.  The second occurrence is removed and its result variables
+aliased to the first's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mal.ast import Argument, Const, MalProgram, Var
+from repro.mal.optimizer.base import (
+    ALLOCATORS,
+    has_side_effects,
+    rebuild_program,
+    substitute_args,
+)
+
+
+def _signature(instr) -> Tuple:
+    parts: List = [instr.qualified_name]
+    for arg in instr.args:
+        if isinstance(arg, Var):
+            parts.append(("v", arg.name))
+        else:
+            parts.append(("c", repr(arg.value)))
+    return tuple(parts)
+
+
+class CommonSubexpression:
+    """Deduplicate identical pure instructions."""
+
+    name = "cse"
+
+    def run(self, program: MalProgram) -> MalProgram:
+        seen: Dict[Tuple, List[str]] = {}
+        replacements: Dict[str, Argument] = {}
+        kept: List = []
+        for instr in program.instructions:
+            substitute_args(instr, replacements)
+            mergeable = (
+                not has_side_effects(instr)
+                and instr.qualified_name not in ALLOCATORS
+                and instr.results
+            )
+            if not mergeable:
+                kept.append(instr)
+                continue
+            signature = _signature(instr)
+            prior = seen.get(signature)
+            if prior is None:
+                seen[signature] = list(instr.results)
+                kept.append(instr)
+                continue
+            for mine, theirs in zip(instr.results, prior):
+                replacements[mine] = Var(theirs)
+        return rebuild_program(program, kept)

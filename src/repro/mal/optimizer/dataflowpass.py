@@ -1,0 +1,35 @@
+"""The dataflow admission pass.
+
+MonetDB wraps the side-effect-free region of a plan in a
+``language.dataflow`` barrier, allowing the interpreter to run it with a
+worker pool.  Here the pass inserts the marker instruction at the top of
+the plan (for plan-shape fidelity — it shows up as a node in the dot file,
+like the administrative instructions the paper's pruning feature targets)
+and sets :attr:`MalProgram.dataflow_enabled`, which both schedulers
+consult.  Skipping this pass is precisely how a plan ends up running
+sequentially on a multi-core box — the anomaly the paper reports finding
+with Stethoscope.
+"""
+
+from __future__ import annotations
+
+from repro.mal.ast import MalProgram
+from repro.mal.optimizer.base import rebuild_program
+
+
+class Dataflow:
+    """Admit parallel interpretation of the plan."""
+
+    name = "dataflow"
+
+    def run(self, program: MalProgram) -> MalProgram:
+        out = rebuild_program(program, program.instructions)
+        if not any(
+            i.qualified_name == "language.dataflow" for i in out.instructions
+        ):
+            marker = out.add("language", "dataflow")
+            out.instructions.remove(marker)
+            out.instructions.insert(0, marker)
+            out.renumber()
+        out.dataflow_enabled = True
+        return out

@@ -1,0 +1,35 @@
+"""Dead-code elimination: drop instructions whose results nothing uses.
+
+A backward liveness sweep keeps side-effecting instructions and anything
+(transitively) feeding them; everything else disappears.  This is the pass
+that shrinks plans most visibly in the Stethoscope's graph view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.mal.ast import MalProgram
+from repro.mal.optimizer.base import has_side_effects, rebuild_program
+
+
+class DeadCode:
+    """Remove instructions with unused results and no side effects."""
+
+    name = "deadcode"
+
+    def run(self, program: MalProgram) -> MalProgram:
+        live_vars: Set[str] = set()
+        keep: List[bool] = [False] * len(program.instructions)
+        for index in range(len(program.instructions) - 1, -1, -1):
+            instr = program.instructions[index]
+            needed = has_side_effects(instr) or any(
+                res in live_vars for res in instr.results
+            )
+            if needed:
+                keep[index] = True
+                live_vars.update(instr.uses())
+        kept = [
+            instr for flag, instr in zip(keep, program.instructions) if flag
+        ]
+        return rebuild_program(program, kept)

@@ -1,0 +1,67 @@
+"""The garbage-collector pass: release BATs right after their last use.
+
+MonetDB's ``garbageCollector`` optimizer appends ``language.pass(X)``
+statements so the interpreter can free intermediate BATs as early as
+possible.  These administrative instructions are prominent in real plans
+— they are a large part of what the paper's *selective pruning* feature
+removes from the display — so the pass matters for plan-shape fidelity
+even though our interpreter's memory accounting treats them as no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.mal.ast import MalInstruction, MalProgram, Var
+from repro.mal.optimizer.base import rebuild_program
+
+
+class GarbageCollector:
+    """Insert ``language.pass`` after the last use of each variable."""
+
+    name = "garbage_collector"
+
+    #: results of these functions must never be "freed" (result plumbing
+    #: and transaction context live until the end of the plan)
+    _PROTECTED_SOURCES = {
+        "sql.mvc", "sql.resultSet", "sql.rsColumn",
+    }
+
+    def run(self, program: MalProgram) -> MalProgram:
+        last_use: Dict[str, int] = {}
+        producers: Dict[str, MalInstruction] = {}
+        for instr in program.instructions:
+            for name in instr.uses():
+                last_use[name] = instr.pc
+            for name in instr.results:
+                producers[name] = instr
+        already_passed: Set[str] = {
+            instr.args[0].name
+            for instr in program.instructions
+            if instr.qualified_name == "language.pass" and instr.args
+            and isinstance(instr.args[0], Var)
+        }
+        releases_after: Dict[int, List[str]] = {}
+        for name, pc in last_use.items():
+            producer = producers.get(name)
+            if producer is None:
+                continue
+            if producer.qualified_name in self._PROTECTED_SOURCES:
+                continue
+            if name in already_passed:
+                continue
+            # only BAT-typed variables are worth releasing
+            spec = program.type_of(name)
+            if not spec.is_bat:
+                continue
+            releases_after.setdefault(pc, []).append(name)
+        if not releases_after:
+            return program
+        rebuilt: List[MalInstruction] = []
+        for instr in program.instructions:
+            rebuilt.append(instr)
+            for name in releases_after.get(instr.pc, ()):  # insertion order
+                rebuilt.append(MalInstruction(
+                    [], "language", "pass", [Var(name)]
+                ))
+        return rebuild_program(program, rebuilt)

@@ -1,0 +1,267 @@
+"""Parser for the MAL text format produced by :mod:`repro.mal.printer`.
+
+The accepted grammar covers what query plans contain::
+
+    program  := header instr* trailer
+    header   := "function" qname props? "(" ")" (":" "void")? ";"
+    instr    := (lhs ":=")? call ";"
+    lhs      := target | "(" target ("," target)* ")"
+    target   := NAME typespec?
+    call     := NAME "." NAME "(" (arg ("," arg)*)? ")"
+    arg      := NAME | literal (":" typename)?
+    typespec := ":" typename | ":bat[:" typename ",:" typename "]"
+
+Comments start with ``#`` and run to end of line.  The parser is strict:
+malformed input raises :class:`~repro.errors.MalParseError` with a line
+number, which is what the offline Stethoscope relies on to reject
+corrupted plan files early.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import MalParseError
+from repro.mal.ast import ANY, Const, MalProgram, TypeSpec, Var, bat_of, scalar_of
+from repro.storage.types import parse_value, type_by_name
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<number>-?\d+\.\d+(?:[eE][+-]?\d+)?|-?\d+)
+  | (?P<assign>:=)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[().,;:\[\]{}=])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r},l{self.line})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise MalParseError(f"line {line}: unexpected character {text[pos]!r}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "ws":
+            line += value.count("\n")
+        elif kind != "comment":
+            tokens.append(_Token(kind, value, line))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise MalParseError(
+                f"line {token.line}: expected {wanted!r}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_program(self) -> MalProgram:
+        self.expect("name", "function")
+        qname = self.expect("name").text
+        while self.accept("punct", "."):
+            qname += "." + self.expect("name").text
+        properties = self._parse_properties()
+        self.expect("punct", "(")
+        self.expect("punct", ")")
+        if self.accept("punct", ":"):
+            self.expect("name")  # return type, normally void
+        self.expect("punct", ";")
+        program = MalProgram(qname, properties)
+        while not (self.peek().kind == "name" and self.peek().text == "end"):
+            if self.peek().kind == "eof":
+                raise MalParseError(
+                    f"line {self.peek().line}: missing 'end' of function"
+                )
+            self._parse_instruction(program)
+        self.expect("name", "end")
+        self.expect("name")
+        self.accept("punct", ";")
+        if self.peek().kind != "eof":
+            token = self.peek()
+            raise MalParseError(
+                f"line {token.line}: trailing input after 'end': {token.text!r}"
+            )
+        program.renumber()
+        return program
+
+    def _parse_properties(self) -> dict:
+        properties: dict = {}
+        if not self.accept("punct", "{"):
+            return properties
+        while True:
+            key = self.expect("name").text
+            self.expect("punct", "=")
+            token = self.advance()
+            properties[key] = parse_value(token.text)
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", "}")
+        return properties
+
+    def _parse_instruction(self, program: MalProgram) -> None:
+        results: List[Tuple[str, TypeSpec]] = []
+        if self.peek().kind == "punct" and self.peek().text == "(":
+            self.advance()
+            while True:
+                results.append(self._parse_target())
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+            self.expect("assign")
+        elif self._looks_like_assignment():
+            results.append(self._parse_target())
+            self.expect("assign")
+        module = self.expect("name").text
+        self.expect("punct", ".")
+        function = self.expect("name").text
+        self.expect("punct", "(")
+        args: List[Any] = []
+        if not (self.peek().kind == "punct" and self.peek().text == ")"):
+            while True:
+                args.append(self._parse_argument())
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        for name, spec in results:
+            if name not in program.var_types or program.var_types[name] is ANY:
+                program.var_types[name] = spec
+        program.add(module, function, args, [name for name, _ in results])
+
+    def _looks_like_assignment(self) -> bool:
+        """Disambiguate ``X_1 := ...`` / ``X_1:typ := ...`` from a bare call
+        ``sql.exportResult(...)`` by scanning ahead for ``:=`` before the
+        opening parenthesis of a call."""
+        offset = 0
+        depth = 0
+        while True:
+            token = self.peek(offset)
+            if token.kind == "eof" or token.text == ";":
+                return False
+            if token.kind == "assign" and depth == 0:
+                return True
+            if token.text == "(" and depth == 0:
+                return False
+            if token.text == "[":
+                depth += 1
+            elif token.text == "]":
+                depth -= 1
+            offset += 1
+
+    def _parse_target(self) -> Tuple[str, TypeSpec]:
+        name = self.expect("name").text
+        spec = ANY
+        if self.peek().kind == "punct" and self.peek().text == ":":
+            spec = self._parse_typespec()
+        return name, spec
+
+    def _parse_typespec(self) -> TypeSpec:
+        self.expect("punct", ":")
+        type_name = self.expect("name").text
+        if type_name != "bat":
+            return scalar_of(type_name)
+        self.expect("punct", "[")
+        self.expect("punct", ":")
+        head = self.expect("name").text
+        self.expect("punct", ",")
+        self.expect("punct", ":")
+        tail = self.expect("name").text
+        self.expect("punct", "]")
+        return bat_of(tail, head)
+
+    def _parse_argument(self):
+        token = self.peek()
+        if token.kind == "name" and token.text in ("nil", "true", "false"):
+            self.advance()
+            value = {"nil": None, "true": True, "false": False}[token.text]
+            mal_type = self._maybe_const_type()
+            return Const(value, mal_type)
+        if token.kind == "name":
+            self.advance()
+            return Var(token.text)
+        if token.kind == "string":
+            self.advance()
+            return Const(parse_value(token.text), type_by_name("str"))
+        if token.kind == "number":
+            self.advance()
+            value = parse_value(token.text)
+            mal_type = self._maybe_const_type()
+            if mal_type is not None:
+                from repro.storage.types import cast_value
+
+                value = cast_value(value, mal_type)
+            return Const(value, mal_type)
+        raise MalParseError(
+            f"line {token.line}: expected argument, got {token.text!r}"
+        )
+
+    def _maybe_const_type(self):
+        if self.peek().kind == "punct" and self.peek().text == ":":
+            spec = self._parse_typespec()
+            return spec.tail
+        return None
+
+
+def parse_program(text: str) -> MalProgram:
+    """Parse MAL text into a :class:`MalProgram`.
+
+    Raises:
+        MalParseError: on any syntax error, with a line number.
+    """
+    return _Parser(text).parse_program()
+
+
+def parse_instruction_text(text: str) -> MalProgram:
+    """Parse a loose sequence of instructions (no function wrapper) into a
+    throwaway program — handy in tests and trace tooling."""
+    wrapped = "function user.fragment():void;\n" + text + "\nend fragment;"
+    return parse_program(wrapped)

@@ -1,0 +1,52 @@
+"""Textual rendering of MAL programs, matching the plan format of the
+paper's Figure 1: a ``function`` header, indented instructions with type
+annotations on fresh results, and an ``end`` trailer."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mal.ast import ANY, Const, MalInstruction, MalProgram, Var
+
+
+def format_argument(arg) -> str:
+    """Render one argument (variable name or literal)."""
+    return str(arg)
+
+
+def format_instruction(instr: MalInstruction,
+                       program: "MalProgram" = None) -> str:
+    """Render one instruction, e.g.
+    ``X_10:bat[:oid,:int] := sql.bind(X_2,"sys","lineitem","l_partkey",0);``
+    """
+    args = ",".join(format_argument(a) for a in instr.args)
+    call = f"{instr.qualified_name}({args})"
+    if not instr.results:
+        return f"{call};"
+    rendered: List[str] = []
+    for res in instr.results:
+        if program is not None:
+            spec = program.type_of(res)
+            rendered.append(f"{res}{spec}" if spec is not ANY else res)
+        else:
+            rendered.append(res)
+    if len(rendered) == 1:
+        lhs = rendered[0]
+    else:
+        lhs = "(" + ",".join(rendered) + ")"
+    return f"{lhs} := {call};"
+
+
+def format_program(program: MalProgram) -> str:
+    """Render a whole plan as MAL text (parseable back by the parser)."""
+    lines: List[str] = []
+    props = ""
+    if program.properties:
+        inner = ",".join(f"{k}={v}" for k, v in program.properties.items())
+        props = "{" + inner + "}"
+    lines.append(f"function {program.name}{props}():void;")
+    for instr in program.instructions:
+        lines.append("    " + format_instruction(instr, program))
+    short_name = program.name.split(".")[-1]
+    lines.append(f"end {short_name};")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""The MAL profiler: instruction-level trace events, filters and streams.
+
+MonetDB's kernel profiler emits one *start* and one *done* event per
+executed MAL instruction, each carrying the program counter (pc), worker
+thread, elapsed microseconds, resident set size and the statement text —
+the fields visible in the paper's Figure 3.  Events can be filtered at the
+source, streamed over UDP to a (textual) Stethoscope, or dumped to a trace
+file for offline analysis.
+"""
+
+from repro.profiler.events import TraceEvent, format_event, parse_event
+from repro.profiler.filters import EventFilter
+from repro.profiler.profiler import Profiler
+from repro.profiler.stream import DOT_PREFIX, UdpEmitter, UdpReceiver
+from repro.profiler.traceio import read_trace, write_trace
+
+__all__ = [
+    "DOT_PREFIX",
+    "EventFilter",
+    "Profiler",
+    "TraceEvent",
+    "UdpEmitter",
+    "UdpReceiver",
+    "format_event",
+    "parse_event",
+    "read_trace",
+    "write_trace",
+]

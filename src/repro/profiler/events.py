@@ -1,0 +1,95 @@
+"""Trace event model and its textual wire/file format.
+
+One line per event, bracketed and tab-separated, mirroring the structure
+of the MonetDB profiler stream shown in the paper's Figure 3::
+
+    [ 7,	123456,	"done",	3,	0,	145,	18432,	"X_23 := algebra.select(X_10,1);"	]
+
+Fields, in order:
+
+=========  ===================================================
+``event``  monotonically increasing sequence number
+``clock``  microseconds since query start (event timestamp)
+``status`` ``"start"`` or ``"done"``
+``pc``     program counter of the instruction (maps to dot node ``n<pc>``)
+``thread`` worker thread that executed the instruction
+``usec``   elapsed microseconds (0 on start events)
+``rss``    simulated resident set in bytes
+``stmt``   the MAL statement text
+=========  ===================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TraceFormatError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One profiler event (an instruction starting or finishing)."""
+
+    event: int
+    clock_usec: int
+    status: str  # "start" | "done"
+    pc: int
+    thread: int
+    usec: int
+    rss_bytes: int
+    stmt: str
+
+    @property
+    def module(self) -> str:
+        """MAL module of the statement (parsed from the text)."""
+        match = _QNAME_RE.search(self.stmt)
+        return match.group(1) if match else ""
+
+    @property
+    def function(self) -> str:
+        """MAL function of the statement (parsed from the text)."""
+        match = _QNAME_RE.search(self.stmt)
+        return match.group(2) if match else ""
+
+
+_QNAME_RE = re.compile(r"(?:^|:=\s*)([A-Za-z_][\w]*)\.([A-Za-z_][\w]*)\(")
+
+_LINE_RE = re.compile(
+    r"^\[\s*(\d+),\s*(\d+),\s*\"(start|done)\",\s*(\d+),\s*(\d+),"
+    r"\s*(\d+),\s*(\d+),\s*\"(.*)\"\s*\]$",
+    re.DOTALL,
+)
+
+
+def format_event(event: TraceEvent) -> str:
+    """Render an event as one trace line."""
+    stmt = event.stmt.replace("\\", "\\\\").replace('"', '\\"')
+    return (
+        f"[ {event.event},\t{event.clock_usec},\t\"{event.status}\","
+        f"\t{event.pc},\t{event.thread},\t{event.usec},"
+        f"\t{event.rss_bytes},\t\"{stmt}\"\t]"
+    )
+
+
+def parse_event(line: str) -> TraceEvent:
+    """Parse one trace line back into a :class:`TraceEvent`.
+
+    Raises:
+        TraceFormatError: when the line does not match the format.
+    """
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        raise TraceFormatError(f"bad trace line: {line!r}")
+    stmt = match.group(8).replace('\\"', '"').replace("\\\\", "\\")
+    return TraceEvent(
+        event=int(match.group(1)),
+        clock_usec=int(match.group(2)),
+        status=match.group(3),
+        pc=int(match.group(4)),
+        thread=int(match.group(5)),
+        usec=int(match.group(6)),
+        rss_bytes=int(match.group(7)),
+        stmt=stmt,
+    )

@@ -1,0 +1,72 @@
+"""Event filters.
+
+The paper (feature 4): "Flexible options for filtering of execution
+traces."  The profiler accepts filter options set through Stethoscope,
+profiling only a subset of event types; the same filter type is reused on
+the client side by the textual Stethoscope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.profiler.events import TraceEvent
+
+
+@dataclass
+class EventFilter:
+    """Predicate over trace events; None/empty means "no restriction".
+
+    Attributes:
+        statuses: keep only these statuses (``{"start"}``, ``{"done"}``).
+        modules: keep only statements of these MAL modules.
+        functions: keep only these ``module.function`` qualified names.
+        pcs: keep only these program counters.
+        threads: keep only events from these worker threads.
+        min_usec: keep only done-events at least this expensive (start
+            events pass unless ``statuses`` excludes them).
+    """
+
+    statuses: Optional[Set[str]] = None
+    modules: Optional[Set[str]] = None
+    functions: Optional[Set[str]] = None
+    pcs: Optional[Set[int]] = None
+    threads: Optional[Set[int]] = None
+    min_usec: int = 0
+
+    def matches(self, event: TraceEvent) -> bool:
+        """True when the event passes every configured restriction."""
+        if self.statuses is not None and event.status not in self.statuses:
+            return False
+        if self.modules is not None and event.module not in self.modules:
+            return False
+        if self.functions is not None:
+            qualified = f"{event.module}.{event.function}"
+            if qualified not in self.functions:
+                return False
+        if self.pcs is not None and event.pc not in self.pcs:
+            return False
+        if self.threads is not None and event.thread not in self.threads:
+            return False
+        if self.min_usec > 0 and event.status == "done" \
+                and event.usec < self.min_usec:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable summary for the filter options window."""
+        parts = []
+        if self.statuses is not None:
+            parts.append(f"status in {sorted(self.statuses)}")
+        if self.modules is not None:
+            parts.append(f"module in {sorted(self.modules)}")
+        if self.functions is not None:
+            parts.append(f"function in {sorted(self.functions)}")
+        if self.pcs is not None:
+            parts.append(f"pc in {sorted(self.pcs)}")
+        if self.threads is not None:
+            parts.append(f"thread in {sorted(self.threads)}")
+        if self.min_usec > 0:
+            parts.append(f"usec >= {self.min_usec}")
+        return " and ".join(parts) if parts else "all events"

@@ -1,0 +1,150 @@
+"""UDP streaming of trace and dot-file content.
+
+The MonetDB profiler sends events over a UDP stream to the (textual)
+Stethoscope; before query execution begins, the server also ships the dot
+file of the plan over the same stream.  Dot content is framed with the
+``#dot\\t`` line prefix so the receiving side can split the two kinds of
+content apart (paper §4.2: "It filters the dot file content, generates a
+new dot file, and stores the content in it").
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ProfilerError
+from repro.profiler.events import TraceEvent, format_event
+
+#: Line prefix framing dot-file content inside the UDP stream.
+DOT_PREFIX = "#dot\t"
+
+#: Stream terminator, sent when the server finishes a query.
+END_MARKER = "#end"
+
+
+class UdpEmitter:
+    """Sends trace lines (and dot content) as UDP datagrams.
+
+    Usable as a profiler sink: calling it with a
+    :class:`~repro.profiler.events.TraceEvent` sends one datagram.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 50010) -> None:
+        self.address = (host, port)
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.send_line(format_event(event))
+
+    def send_line(self, line: str) -> None:
+        """Send one raw line as a datagram."""
+        self._socket.sendto(line.encode("utf-8"), self.address)
+
+    def send_dot(self, dot_text: str) -> None:
+        """Ship a dot file over the stream, one framed line per datagram."""
+        for line in dot_text.splitlines():
+            self.send_line(DOT_PREFIX + line)
+
+    def send_end(self) -> None:
+        """Signal end of the query's stream."""
+        self.send_line(END_MARKER)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "UdpEmitter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class UdpReceiver:
+    """Receives the UDP stream; the textual Stethoscope's transport.
+
+    A background thread drains the socket into an internal queue, so slow
+    consumers do not drop datagrams at the socket layer (within OS buffer
+    limits).  ``port=0`` binds an ephemeral port — read :attr:`port` after
+    construction to learn it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 buffer_bytes: int = 1 << 20) -> None:
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                buffer_bytes)
+        self._socket.bind((host, port))
+        self.host, self.port = self._socket.getsockname()
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._closed = threading.Event()
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        try:
+            self._socket.settimeout(0.1)
+        except OSError:  # closed before the thread got scheduled
+            self._queue.put(None)
+            return
+        while not self._closed.is_set():
+            try:
+                datagram, _addr = self._socket.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self._queue.put(datagram.decode("utf-8", errors="replace"))
+        self._queue.put(None)
+
+    def lines(self, timeout: float = 5.0) -> Iterator[str]:
+        """Yield received lines until the END marker or a timeout gap.
+
+        A gap of ``timeout`` seconds without any datagram ends iteration
+        (the online monitor treats that as a stalled stream).
+        """
+        while True:
+            try:
+                line = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                return
+            if line is None:
+                return
+            if line == END_MARKER:
+                return
+            yield line
+
+    def try_line(self, timeout: float = 0.1) -> Optional[str]:
+        """One line, or None when nothing arrived within ``timeout``."""
+        try:
+            line = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        return line
+
+    def close(self) -> None:
+        self._closed.set()
+        self._socket.close()
+
+    def __enter__(self) -> "UdpReceiver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def split_stream(lines) -> Tuple[List[str], List[str]]:
+    """Separate framed dot content from trace lines (paper §4.2).
+
+    Returns (dot_lines, trace_lines); the ``#dot`` prefix is stripped.
+    """
+    dot_lines: List[str] = []
+    trace_lines: List[str] = []
+    for line in lines:
+        if line.startswith(DOT_PREFIX):
+            dot_lines.append(line[len(DOT_PREFIX):])
+        elif line != END_MARKER:
+            trace_lines.append(line)
+    return dot_lines, trace_lines

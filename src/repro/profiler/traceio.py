@@ -1,0 +1,60 @@
+"""Trace file reading and writing (the offline side of the profiler).
+
+Offline Stethoscope mode "needs access to a preexisting dot file and
+trace file" (paper §4.1); these helpers produce and consume those trace
+files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.errors import TraceFormatError
+from repro.profiler.events import TraceEvent, format_event, parse_event
+
+
+def write_trace(events: Iterable[TraceEvent], path: str) -> int:
+    """Write events to a trace file, one line each; returns line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(format_event(event) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> List[TraceEvent]:
+    """Read a whole trace file (skipping blank lines).
+
+    Raises:
+        TraceFormatError: on any malformed line (with its line number).
+    """
+    return list(iter_trace(path))
+
+
+def iter_trace(path: str) -> Iterator[TraceEvent]:
+    """Stream a trace file sequentially — the paper's workflow reads the
+    trace "in a sequential manner"."""
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield parse_event(stripped)
+            except TraceFormatError as exc:
+                raise TraceFormatError(f"{path}:{number}: {exc}") from None
+
+
+def parse_trace_text(text: str) -> List[TraceEvent]:
+    """Parse trace lines from a string (e.g. collected from UDP)."""
+    events: List[TraceEvent] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            events.append(parse_event(stripped))
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"line {number}: {exc}") from None
+    return events

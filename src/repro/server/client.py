@@ -1,0 +1,107 @@
+"""MClient: the TCP client for Mserver (what Stethoscope connects with)."""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServerError
+from repro.server.protocol import decode_message, decode_rows, encode_message
+
+
+class MClient:
+    """A blocking client over the JSON line protocol.
+
+    Usage::
+
+        with MClient(port=server.port) as client:
+            rows = client.query("select count(*) from lineitem").rows
+    """
+
+    class Result:
+        """One statement's outcome as seen by the client."""
+
+        def __init__(self, payload: Dict[str, Any]) -> None:
+            self.kind: str = payload.get("kind", "rows")
+            self.columns: List[str] = payload.get("columns", [])
+            self.rows: List[Tuple[Any, ...]] = decode_rows(
+                payload.get("rows", [])
+            )
+            self.affected: int = payload.get("affected", 0)
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 50000,
+                 timeout: float = 30.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+
+    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._socket.sendall(encode_message(request))
+        while b"\n" not in self._buffer:
+            chunk = self._socket.recv(65536)
+            if not chunk:
+                raise ServerError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        response = decode_message(line)
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "request failed"))
+        return response
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def query(self, sql: str) -> "MClient.Result":
+        """Execute one SQL statement."""
+        return MClient.Result(self._call({"op": "query", "sql": sql}))
+
+    def explain(self, sql: str) -> str:
+        """The optimized MAL plan text of a SELECT."""
+        return self._call({"op": "explain", "sql": sql})["plan"]
+
+    def dot(self, sql: str) -> str:
+        """The optimized plan's dot file of a SELECT."""
+        return self._call({"op": "dot", "sql": sql})["dot"]
+
+    def set_pipeline(self, name: str) -> None:
+        """Choose the optimizer pipeline for subsequent queries."""
+        self._call({"op": "set", "pipeline": name})
+
+    def set_workers(self, workers: int) -> None:
+        """Choose the dataflow worker count."""
+        self._call({"op": "set", "workers": workers})
+
+    def set_profiler(self, port: int, host: str = "127.0.0.1",
+                     filter_options: Optional[Dict[str, Any]] = None) -> None:
+        """Stream profiler events (and plan dot files) to a UDP endpoint.
+
+        ``filter_options`` supports ``statuses``, ``modules`` and
+        ``min_usec`` — the server-side filter options the Stethoscope
+        sets (paper §3: "The profiler accepts filter options set through
+        Stethoscope")."""
+        request: Dict[str, Any] = {"op": "profiler", "host": host,
+                                   "port": port}
+        if filter_options:
+            request["filter"] = filter_options
+        self._call(request)
+
+    def profiler_off(self) -> None:
+        """Stop streaming profiler events."""
+        self._call({"op": "profiler", "off": True})
+
+    def close(self) -> None:
+        try:
+            self._call({"op": "quit"})
+        except (ServerError, OSError):
+            pass
+        self._socket.close()
+
+    def __enter__(self) -> "MClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,202 @@
+"""The embedded execution environment: catalog, compiler, optimizer,
+interpreter and profiler in one object.
+
+``Database.execute`` is the single entry point for SQL: DDL and INSERT
+apply directly to the catalog; SELECT compiles to MAL, runs through the
+configured optimizer pipeline, executes on the configured scheduler and
+returns rows.  Every compiled plan and its dot file are kept for the
+Stethoscope to pick up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.dot.writer import plan_to_dot
+from repro.errors import SqlError
+from repro.mal.ast import MalProgram
+from repro.mal.dataflow import SimulatedScheduler, ThreadedScheduler
+from repro.mal.interpreter import ExecutionResult, Interpreter, RunListener
+from repro.mal.optimizer import Mitosis, Pipeline, pipeline_by_name
+from repro.mal.printer import format_program
+from repro.sqlfe.ast import CreateTable, DropTable, Insert, Literal, Select, UnaryOp
+from repro.sqlfe.compiler import SqlCompiler
+from repro.sqlfe.parser import parse_sql
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class QueryOutcome:
+    """What one SQL statement produced."""
+
+    kind: str  # "rows" | "ddl" | "insert"
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    affected: int = 0
+    program: Optional[MalProgram] = None
+    execution: Optional[ExecutionResult] = None
+
+
+class Database:
+    """An embedded database instance.
+
+    Args:
+        catalog: existing catalog (a fresh one when omitted).
+        workers: dataflow worker count (also the mitosis partition count).
+        pipeline_name: optimizer pipeline (``default_pipe``,
+            ``sequential_pipe``, ``minimal_pipe``).
+        scheduler: ``"simulated"`` (deterministic virtual time, default)
+            or ``"threaded"`` (real threads).
+    """
+
+    def __init__(self, catalog: Optional[Catalog] = None, workers: int = 4,
+                 pipeline_name: str = "default_pipe",
+                 scheduler: str = "simulated",
+                 mitosis_threshold: int = 1000) -> None:
+        self.catalog = catalog or Catalog()
+        self.workers = workers
+        self.pipeline_name = pipeline_name
+        self.scheduler = scheduler
+        self.mitosis_threshold = mitosis_threshold
+        self.compiler = SqlCompiler(self.catalog)
+        #: last compiled (optimized) plan, for explain/dot consumers
+        self.last_program: Optional[MalProgram] = None
+
+    # ------------------------------------------------------------------
+
+    def set_pipeline(self, name: str) -> None:
+        """Switch the optimizer pipeline (validated immediately)."""
+        pipeline_by_name(name)  # raises on unknown names
+        self.pipeline_name = name
+
+    def _pipeline(self) -> Pipeline:
+        if self.pipeline_name == "default_pipe":
+            pipeline = pipeline_by_name(
+                "default_pipe", nparts=self.workers,
+                mitosis_threshold=self.mitosis_threshold,
+            )
+            for opt_pass in pipeline.passes:
+                if isinstance(opt_pass, Mitosis):
+                    opt_pass.catalog = self.catalog
+            return pipeline
+        return pipeline_by_name(self.pipeline_name)
+
+    # ------------------------------------------------------------------
+
+    def compile(self, sql: str) -> MalProgram:
+        """Compile a SELECT to its optimized MAL plan."""
+        program = self.compiler.compile_text(sql)
+        program = self._pipeline().apply(program)
+        self.last_program = program
+        return program
+
+    def explain(self, sql: str) -> str:
+        """The optimized MAL plan as text (``EXPLAIN``)."""
+        return format_program(self.compile(sql))
+
+    def dot(self, sql: str) -> str:
+        """The optimized plan's dot file."""
+        return plan_to_dot(self.compile(sql))
+
+    def execute(self, sql: str,
+                listener: Optional[RunListener] = None) -> QueryOutcome:
+        """Execute one SQL statement.
+
+        ``listener`` (usually a :class:`~repro.profiler.Profiler`)
+        receives the instruction run records of SELECT execution.
+
+        MonetDB's statement modifiers are supported: ``EXPLAIN SELECT
+        ...`` returns the optimized MAL plan as one text column instead
+        of executing, and ``TRACE SELECT ...`` executes the query and
+        returns its profiler trace as rows.
+        """
+        stripped = sql.lstrip()
+        head = stripped[:8].lower()
+        if head.startswith("explain "):
+            plan_text = self.explain(stripped[len("explain "):])
+            outcome = QueryOutcome(kind="rows", columns=["mal"],
+                                   rows=[(line,) for line in
+                                         plan_text.splitlines()])
+            outcome.program = self.last_program
+            return outcome
+        if head.startswith("trace "):
+            return self._execute_traced(stripped[len("trace "):])
+        statement = parse_sql(sql)
+        if isinstance(statement, CreateTable):
+            self.catalog.create_table_from_sql_types(
+                statement.table, statement.columns
+            )
+            return QueryOutcome(kind="ddl")
+        if isinstance(statement, DropTable):
+            self.catalog.schema().drop_table(statement.table)
+            return QueryOutcome(kind="ddl")
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, Select):
+            program = self.compiler.compile(statement)
+            program = self._pipeline().apply(program)
+            self.last_program = program
+            execution = self.run_program(program, listener)
+            result_set = execution.first
+            return QueryOutcome(
+                kind="rows",
+                columns=list(result_set.names) if result_set else [],
+                rows=execution.rows(),
+                program=program,
+                execution=execution,
+            )
+        raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    def run_program(self, program: MalProgram,
+                    listener: Optional[RunListener] = None
+                    ) -> ExecutionResult:
+        """Execute an already-compiled plan on the configured scheduler."""
+        if self.scheduler == "threaded":
+            return ThreadedScheduler(
+                self.catalog, workers=self.workers, listener=listener,
+                realtime_scale=1e-4,
+            ).run(program)
+        if program.dataflow_enabled:
+            return SimulatedScheduler(
+                self.catalog, workers=self.workers, listener=listener
+            ).run(program)
+        return Interpreter(self.catalog, listener=listener).run(program)
+
+    def _execute_traced(self, sql: str) -> QueryOutcome:
+        """``TRACE SELECT ...``: run the query, return its trace rows."""
+        from repro.profiler import Profiler
+
+        profiler = Profiler()
+        inner = self.execute(sql, listener=profiler)
+        rows = [
+            (e.event, e.clock_usec, e.status, e.pc, e.thread, e.usec,
+             e.rss_bytes, e.stmt)
+            for e in profiler.events
+        ]
+        outcome = QueryOutcome(
+            kind="rows",
+            columns=["event", "clock", "status", "pc", "thread", "usec",
+                     "rss", "stmt"],
+            rows=rows,
+        )
+        outcome.program = inner.program
+        outcome.execution = inner.execution
+        return outcome
+
+    def _execute_insert(self, statement: Insert) -> QueryOutcome:
+        table = self.catalog.table(statement.table)
+        inserted = 0
+        for row_exprs in statement.rows:
+            row = []
+            for expr in row_exprs:
+                if isinstance(expr, Literal):
+                    row.append(expr.value)
+                elif isinstance(expr, UnaryOp) and expr.op == "-" and \
+                        isinstance(expr.operand, Literal):
+                    row.append(-expr.operand.value)
+                else:
+                    raise SqlError("INSERT supports literal values only")
+            table.insert(row)
+            inserted += 1
+        return QueryOutcome(kind="insert", affected=inserted)

@@ -1,0 +1,212 @@
+"""The Mserver TCP server: a background process listening for clients.
+
+Each accepted client gets its own handler thread and its own session
+state (optimizer pipeline choice, profiler streaming target and filter).
+When a profiler target is set, every subsequent SELECT first ships its
+plan's dot file over the UDP stream, then streams the execution trace
+events, then an end marker — exactly the online-mode contract the
+Stethoscope expects (paper §4.2).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, Optional
+
+from repro.errors import ReproError, ServerError
+from repro.profiler.events import TraceEvent
+from repro.profiler.filters import EventFilter
+from repro.profiler.profiler import Profiler
+from repro.profiler.stream import UdpEmitter
+from repro.server.database import Database
+from repro.server.protocol import decode_message, encode_message, encode_rows
+
+
+class Mserver:
+    """A TCP server around one :class:`~repro.server.database.Database`.
+
+    Args:
+        database: the execution environment to serve.
+        host/port: listen address (port 0 → ephemeral; read
+            :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, database: Database, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.database = database
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._socket: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()  # serialises query execution
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Mserver":
+        """Bind, listen, and serve in a background thread."""
+        if self._socket is not None:
+            raise ServerError("server already started")
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind((self.host, self._requested_port))
+        self._socket.listen(16)
+        self._socket.settimeout(0.2)
+        self.port = self._socket.getsockname()[1]
+        self._accept_thread = threading.Thread(target=self._serve,
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listen socket."""
+        self._stopping.set()
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "Mserver":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        listen_socket = self._socket
+        while not self._stopping.is_set():
+            try:
+                client, _addr = listen_socket.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle_client, args=(client,), daemon=True
+            ).start()
+
+    def _handle_client(self, client: socket.socket) -> None:
+        session = _ClientSession(self)
+        buffered = b""
+        try:
+            client.settimeout(30.0)
+            while not self._stopping.is_set():
+                while b"\n" not in buffered:
+                    chunk = client.recv(65536)
+                    if not chunk:
+                        return
+                    buffered += chunk
+                line, buffered = buffered.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_message(line)
+                    response = session.handle(request)
+                except ReproError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except Exception as exc:  # surface, do not kill server
+                    response = {"ok": False,
+                                "error": f"internal error: {exc}"}
+                client.sendall(encode_message(response))
+                if response.get("bye"):
+                    return
+        except OSError:
+            return
+        finally:
+            session.close()
+            client.close()
+
+
+class _ClientSession:
+    """Per-connection state and request dispatch."""
+
+    def __init__(self, server: Mserver) -> None:
+        self.server = server
+        self.emitter: Optional[UdpEmitter] = None
+        self.event_filter = EventFilter()
+
+    def close(self) -> None:
+        if self.emitter is not None:
+            self.emitter.close()
+            self.emitter = None
+
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict) -> Dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "quit":
+            return {"ok": True, "bye": True}
+        if op == "set":
+            return self._handle_set(request)
+        if op == "profiler":
+            return self._handle_profiler(request)
+        if op == "query":
+            return self._handle_query(request)
+        if op == "explain":
+            with self.server._lock:
+                return {"ok": True,
+                        "plan": self.server.database.explain(
+                            request.get("sql", ""))}
+        if op == "dot":
+            with self.server._lock:
+                return {"ok": True,
+                        "dot": self.server.database.dot(
+                            request.get("sql", ""))}
+        raise ServerError(f"unknown op {op!r}")
+
+    def _handle_set(self, request: Dict) -> Dict:
+        if "pipeline" in request:
+            self.server.database.set_pipeline(request["pipeline"])
+        if "workers" in request:
+            workers = int(request["workers"])
+            if workers < 1:
+                raise ServerError("workers must be >= 1")
+            self.server.database.workers = workers
+        return {"ok": True}
+
+    def _handle_profiler(self, request: Dict) -> Dict:
+        self.close()
+        if request.get("off"):
+            return {"ok": True}
+        host = request.get("host", "127.0.0.1")
+        port = int(request["port"])
+        self.emitter = UdpEmitter(host=host, port=port)
+        options = request.get("filter", {})
+        self.event_filter = EventFilter(
+            statuses=set(options["statuses"]) if "statuses" in options
+            else None,
+            modules=set(options["modules"]) if "modules" in options
+            else None,
+            min_usec=int(options.get("min_usec", 0)),
+        )
+        return {"ok": True}
+
+    def _handle_query(self, request: Dict) -> Dict:
+        sql = request.get("sql", "")
+        database = self.server.database
+        with self.server._lock:
+            if self.emitter is None:
+                outcome = database.execute(sql)
+            else:
+                profiler = Profiler(self.event_filter, keep_events=False)
+                profiler.add_sink(self.emitter)
+                # ship the plan's dot file before execution begins
+                statement_kind = sql.lstrip()[:6].lower()
+                if statement_kind.startswith("select"):
+                    self.emitter.send_dot(database.dot(sql))
+                outcome = database.execute(sql, listener=profiler)
+                self.emitter.send_end()
+        response = {"ok": True, "kind": outcome.kind,
+                    "affected": outcome.affected}
+        if outcome.kind == "rows":
+            response["columns"] = outcome.columns
+            response["rows"] = encode_rows(outcome.rows)
+        return response

@@ -1,0 +1,75 @@
+"""The line-delimited JSON wire protocol between MClient and Mserver.
+
+One JSON object per line in each direction.  Requests carry an ``op``:
+
+===========  ==========================================================
+``ping``     liveness check → ``{"ok": true}``
+``query``    execute SQL → rows / ddl / insert outcome
+``explain``  optimized MAL plan text for a SELECT
+``dot``      optimized plan's dot file for a SELECT
+``set``      session settings: ``pipeline`` (optimizer pipe name)
+``profiler`` stream trace events (and dot files) to a UDP endpoint;
+             carries optional filter options (statuses, modules,
+             min_usec)
+``quit``     close the connection
+===========  ==========================================================
+
+This replaces MonetDB's binary MAPI protocol; the substitution is
+documented in DESIGN.md.  Values that are not JSON-native (dates) are
+serialised as ISO strings tagged with ``"@date:"`` so they survive the
+round trip.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Dict
+
+from repro.errors import ServerError
+
+_DATE_TAG = "@date:"
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-encode one cell value (dates are tagged strings)."""
+    if isinstance(value, datetime.date):
+        return _DATE_TAG + value.isoformat()
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, str) and value.startswith(_DATE_TAG):
+        return datetime.date.fromisoformat(value[len(_DATE_TAG):])
+    return value
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialise one protocol message as a line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line.
+
+    Raises:
+        ServerError: on malformed JSON or a non-object payload.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServerError(f"bad protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServerError("protocol message must be a JSON object")
+    return message
+
+
+def encode_rows(rows) -> list:
+    """Encode a row list for transport."""
+    return [[encode_value(v) for v in row] for row in rows]
+
+
+def decode_rows(rows) -> list:
+    """Decode a transported row list back to tuples."""
+    return [tuple(decode_value(v) for v in row) for row in rows]

@@ -1,0 +1,17 @@
+"""SQL front end: text → AST → relational algebra → MAL plan.
+
+This mirrors MonetDB's compilation pipeline as the paper describes it:
+"a SQL query gets parsed and is converted into a relational algebra
+representation.  This algebra representation is then converted to a MAL
+plan.  Subsequently, optimizers work on the generated MAL plan."
+
+The dialect covers what TPC-H style analytics need: multi-table SELECT
+with WHERE / GROUP BY / HAVING / ORDER BY / LIMIT, arithmetic and boolean
+expressions, aggregates, BETWEEN / IN / LIKE, date literals and interval
+arithmetic — plus CREATE TABLE and INSERT for data definition in examples.
+"""
+
+from repro.sqlfe.compiler import SqlCompiler, compile_sql
+from repro.sqlfe.parser import parse_sql
+
+__all__ = ["SqlCompiler", "compile_sql", "parse_sql"]

@@ -1,0 +1,1022 @@
+"""SQL → MAL code generation.
+
+The generated plans follow MonetDB's column-at-a-time style:
+
+* per-table *candidate lists* (BATs of qualifying oids) built by chaining
+  ``algebra.select`` / ``algebra.thetaselect`` / ``algebra.semijoin``;
+* projections as ``algebra.leftjoin`` of a candidate/row map against the
+  bound column;
+* equi-joins as ``algebra.join`` over value columns with
+  ``algebra.markT`` renumbering producing per-table row maps;
+* grouping as ``group.new`` / ``group.derive`` chains feeding grouped
+  ``aggr.*``;
+* ordering as stable ``algebra.sortTail`` passes (least-significant key
+  first) composed into a permutation BAT;
+* result delivery through ``sql.resultSet`` / ``sql.rsColumn`` /
+  ``sql.exportResult``.
+
+The output of :func:`compile_sql` is an *unoptimized* plan, as produced by
+MonetDB's SQL compiler; run it through an optimizer
+:class:`~repro.mal.optimizer.Pipeline` to get the plan the server would
+actually execute (and whose dot file the Stethoscope displays).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import SqlError
+from repro.mal.ast import Const, MalProgram, TypeSpec, Var, bat_of, scalar_of
+from repro.sqlfe.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CreateTable,
+    DropTable,
+    ExtractYear,
+    Expression,
+    FuncCall,
+    InList,
+    InSubquery,
+    Insert,
+    Interval,
+    IsNull,
+    JoinCondition,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    Select,
+    UnaryOp,
+)
+from repro.sqlfe.binder import Binder, contains_aggregate
+from repro.sqlfe.parser import parse_sql
+from repro.storage.catalog import Catalog, _sql_type_to_mal
+from repro.storage.types import BIT, DATE, DBL, LNG, MalType, infer_type
+
+_CMP_TO_THETA = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+_ARITH = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod"}
+_CMP = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+
+@dataclass
+class OutputColumn:
+    """One column of the final result set."""
+
+    name: str
+    type_name: str
+    value: Union[Var, Const]
+    is_scalar: bool
+
+
+class SqlCompiler:
+    """Compiles SELECT statements to MAL programs against a catalog."""
+
+    def __init__(self, catalog: Catalog, schema: str = "sys") -> None:
+        self.catalog = catalog
+        self.schema = schema
+        self._query_counter = 0
+
+    def compile(self, statement) -> MalProgram:
+        """Compile a parsed statement (currently SELECT only) to MAL."""
+        if isinstance(statement, Select):
+            self._query_counter += 1
+            return _SelectCompiler(
+                self.catalog, self.schema, statement,
+                f"user.s{self._query_counter}_1",
+            ).compile()
+        raise SqlError(
+            f"only SELECT compiles to MAL; got {type(statement).__name__}"
+        )
+
+    def compile_text(self, sql: str) -> MalProgram:
+        """Parse and compile one SELECT statement."""
+        return self.compile(parse_sql(sql))
+
+
+def compile_sql(catalog: Catalog, sql: str) -> MalProgram:
+    """One-shot convenience wrapper over :class:`SqlCompiler`."""
+    return SqlCompiler(catalog).compile_text(sql)
+
+
+class _SelectCompiler:
+    """Stateful single-statement compilation (one instance per SELECT)."""
+
+    def __init__(self, catalog: Catalog, schema: str, select: Select,
+                 name: str, program: Optional[MalProgram] = None,
+                 bat_vars: Optional[Set[str]] = None,
+                 binder: Optional[Binder] = None,
+                 mvc: Optional[Var] = None) -> None:
+        self.catalog = catalog
+        self.schema = schema
+        self.select = select
+        self.binder = binder or Binder(catalog, select, schema)
+        # nested subquery compilers share the enclosing program so that
+        # variable names stay unique across the whole plan
+        self.program = program or MalProgram(name, {"autoCommit": True})
+        self.mvc: Optional[Var] = mvc
+        self._bat_vars: Set[str] = bat_vars if bat_vars is not None else set()
+        self._bind_cache: Dict[Tuple[str, str], Var] = {}
+        self._candidates: Dict[str, Var] = {}
+        self._rowmaps: Dict[str, Var] = {}
+        self._projection_cache: Dict[Tuple[str, str], Var] = {}
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, module: str, function: str, args: Sequence,
+             result_type: TypeSpec = None, is_bat: bool = True) -> Var:
+        spec = result_type if result_type is not None else bat_of("int")
+        var = self.program.call(module, function, list(args), spec)
+        if is_bat:
+            self._bat_vars.add(var.name)
+        return var
+
+    def is_bat(self, value) -> bool:
+        return isinstance(value, Var) and value.name in self._bat_vars
+
+    def bind_column(self, table_key: str, column: str) -> Var:
+        """``sql.bind`` for a column, cached per (table, column)."""
+        cached = self._bind_cache.get((table_key, column))
+        if cached is not None:
+            return cached
+        table = self.binder.tables[table_key]
+        mal_type = table.column(column).mal_type
+        var = self.emit(
+            "sql", "bind",
+            [self.mvc, Const(self.schema), Const(table.name), Const(column),
+             Const(0)],
+            bat_of(mal_type),
+        )
+        self._bind_cache[(table_key, column)] = var
+        return var
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def compile(self) -> MalProgram:
+        self.binder.bind()
+        self.mvc = self.emit("sql", "mvc", [], scalar_of("oid"), is_bat=False)
+        outputs = self._compile_body()
+        self._emit_result(outputs)
+        self.program.renumber()
+        self.program.validate()
+        return self.program
+
+    def compile_subquery(self) -> OutputColumn:
+        """Compile as an uncorrelated subquery inside the enclosing
+        program (already bound by the outer binder): returns the single
+        output column instead of emitting result-set delivery."""
+        if len(self.select.items) != 1:
+            raise SqlError("a subquery must produce exactly one column")
+        outputs = self._compile_body()
+        return outputs[0]
+
+    def _compile_body(self) -> List[OutputColumn]:
+        select = self.select
+        if select.distinct:
+            if select.group_by or self._has_aggregates():
+                raise SqlError("DISTINCT with aggregates is not supported")
+            select.group_by = [item.expr for item in select.items]
+        join_edges, table_filters, residuals = self._classify_where()
+        for ref in select.tables:
+            self._build_candidate(ref.key, table_filters.get(ref.key, []))
+        self._build_joins(join_edges)
+        self._apply_residuals(residuals)
+        grouped = bool(select.group_by) or self._has_aggregates()
+        if grouped:
+            outputs, order_keys = self._compile_grouped()
+        else:
+            outputs, order_keys = self._compile_plain()
+        outputs = self._apply_ordering(outputs, order_keys)
+        return self._apply_limit(outputs)
+
+    def _has_aggregates(self) -> bool:
+        select = self.select
+        if any(contains_aggregate(i.expr) for i in select.items):
+            return True
+        if select.having is not None and contains_aggregate(select.having):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # WHERE classification
+    # ------------------------------------------------------------------
+
+    def _classify_where(self):
+        join_edges: List[Tuple[ColumnRef, ColumnRef]] = [
+            (c.left, c.right) for c in self.select.join_conditions
+        ]
+        table_filters: Dict[str, List[Expression]] = {}
+        residuals: List[Expression] = []
+        for conjunct in _split_conjuncts(self.select.where):
+            edge = self._as_join_edge(conjunct)
+            if edge is not None:
+                join_edges.append(edge)
+                continue
+            keys = _tables_of(conjunct)
+            if len(keys) == 1:
+                table_filters.setdefault(next(iter(keys)), []).append(conjunct)
+            else:
+                residuals.append(conjunct)
+        return join_edges, table_filters, residuals
+
+    @staticmethod
+    def _as_join_edge(expr: Expression):
+        if (
+            isinstance(expr, BinaryOp) and expr.op == "="
+            and isinstance(expr.left, ColumnRef)
+            and isinstance(expr.right, ColumnRef)
+            and expr.left.table_key != expr.right.table_key
+        ):
+            return (expr.left, expr.right)
+        return None
+
+    # ------------------------------------------------------------------
+    # candidates
+    # ------------------------------------------------------------------
+
+    def _build_candidate(self, table_key: str,
+                         filters: List[Expression]) -> None:
+        cand: Optional[Var] = None
+        deferred: List[Expression] = []
+        for predicate in filters:
+            simple = self._try_simple_selection(table_key, predicate, cand)
+            if simple is not None:
+                cand = simple
+            else:
+                deferred.append(predicate)
+        if cand is None:
+            table = self.binder.tables[table_key]
+            cand = self.emit(
+                "sql", "tid",
+                [self.mvc, Const(self.schema), Const(table.name)],
+                bat_of("oid"),
+            )
+        for predicate in deferred:
+            self._projection_cache.clear()
+            sel = self._filter_by_bit(cand, predicate, {table_key: cand})
+            cand = self.emit("algebra", "semijoin", [cand, sel], bat_of("oid"))
+        self._projection_cache.clear()
+        self._candidates[table_key] = cand
+        self._rowmaps = dict(self._candidates)
+
+    def _try_simple_selection(self, table_key: str, predicate: Expression,
+                              cand: Optional[Var]) -> Optional[Var]:
+        """Emit a pushable predicate as a selection chain; None if the
+        predicate is not of simple (column vs constants) shape."""
+        parts = self._simple_parts(predicate)
+        if parts is None:
+            return None
+        column, kind, payload = parts
+        col_bat = self.bind_column(table_key, column)
+        source = col_bat if cand is None else self.emit(
+            "algebra", "leftjoin", [cand, col_bat],
+            bat_of(self._column_type(table_key, column)),
+        )
+        if kind == "theta":
+            value, op = payload
+            if op == "=":
+                sel = self.emit("algebra", "select", [source, Const(value)],
+                                bat_of(self._column_type(table_key, column)))
+            else:
+                sel = self.emit(
+                    "algebra", "thetaselect",
+                    [source, Const(value), Const(_CMP_TO_THETA[op])],
+                    bat_of(self._column_type(table_key, column)),
+                )
+        elif kind == "range":
+            low, high = payload
+            sel = self.emit(
+                "algebra", "select", [source, Const(low), Const(high)],
+                bat_of(self._column_type(table_key, column)),
+            )
+        else:  # like
+            sel = self.emit(
+                "algebra", "likeselect", [source, Const(payload)],
+                bat_of("str"),
+            )
+        if cand is None:
+            return self.emit("bat", "mirror", [sel], bat_of("oid"))
+        return self.emit("algebra", "semijoin", [cand, sel], bat_of("oid"))
+
+    def _simple_parts(self, predicate: Expression):
+        """Decompose a predicate into (column, kind, payload) when it is a
+        single column against compile-time constants."""
+        if isinstance(predicate, BinaryOp) and predicate.op in _CMP_TO_THETA:
+            left_col = isinstance(predicate.left, ColumnRef)
+            right_col = isinstance(predicate.right, ColumnRef)
+            if left_col and not right_col:
+                value = _const_eval(predicate.right)
+                if value is not _NOT_CONST:
+                    return predicate.left.column, "theta", (value, predicate.op)
+            if right_col and not left_col:
+                value = _const_eval(predicate.left)
+                if value is not _NOT_CONST:
+                    return (predicate.right.column, "theta",
+                            (value, _FLIP[predicate.op]))
+            return None
+        if isinstance(predicate, Between) and not predicate.negated and \
+                isinstance(predicate.operand, ColumnRef):
+            low = _const_eval(predicate.low)
+            high = _const_eval(predicate.high)
+            if low is not _NOT_CONST and high is not _NOT_CONST:
+                return predicate.operand.column, "range", (low, high)
+            return None
+        if isinstance(predicate, Like) and not predicate.negated and \
+                isinstance(predicate.operand, ColumnRef):
+            return predicate.operand.column, "like", predicate.pattern
+        return None
+
+    def _column_type(self, table_key: str, column: str) -> MalType:
+        return self.binder.tables[table_key].column(column).mal_type
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def _build_joins(self, edges: List[Tuple[ColumnRef, ColumnRef]]) -> None:
+        keys = [ref.key for ref in self.select.tables]
+        if len(keys) == 1:
+            if edges:
+                raise SqlError("join condition over a single table")
+            return
+        joined: Set[str] = {keys[0]}
+        remaining = list(edges)
+        post_filters: List[Tuple[ColumnRef, ColumnRef]] = []
+        while len(joined) < len(keys):
+            progress = False
+            for edge in list(remaining):
+                left, right = edge
+                lin, rin = left.table_key in joined, right.table_key in joined
+                if lin and rin:
+                    post_filters.append(edge)
+                    remaining.remove(edge)
+                    progress = True
+                elif lin or rin:
+                    if rin:
+                        left, right = right, left
+                    self._join_step(left, right)
+                    joined.add(right.table_key)
+                    remaining.remove(edge)
+                    progress = True
+            if not progress:
+                missing = [k for k in keys if k not in joined]
+                raise SqlError(
+                    f"no join condition connects tables: {', '.join(missing)}"
+                )
+        for edge in remaining:
+            post_filters.append(edge)
+        for left, right in post_filters:
+            self._apply_residuals([BinaryOp("=", left, right)])
+
+    def _join_step(self, inner: ColumnRef, outer: ColumnRef) -> None:
+        """Join the already-joined row space (via ``inner``) with the fresh
+        table referenced by ``outer``."""
+        inner_vals = self._project(inner.table_key, inner.column)
+        outer_cand = self._candidates[outer.table_key]
+        outer_col = self.bind_column(outer.table_key, outer.column)
+        outer_vals = self.emit(
+            "algebra", "leftjoin", [outer_cand, outer_col],
+            bat_of(self._column_type(outer.table_key, outer.column)),
+        )
+        reversed_outer = self.emit("bat", "reverse", [outer_vals], bat_of("oid"))
+        pairs = self.emit("algebra", "join", [inner_vals, reversed_outer],
+                          bat_of("oid"))
+        new_outer_map = self.emit("algebra", "markT", [pairs, Const(0)],
+                                  bat_of("oid"))
+        reversed_pairs = self.emit("bat", "reverse", [pairs], bat_of("oid"))
+        old_row_map = self.emit("algebra", "markT", [reversed_pairs, Const(0)],
+                                bat_of("oid"))
+        for key in list(self._rowmaps):
+            self._rowmaps[key] = self.emit(
+                "algebra", "leftjoin", [old_row_map, self._rowmaps[key]],
+                bat_of("oid"),
+            )
+        self._rowmaps[outer.table_key] = new_outer_map
+        self._projection_cache.clear()
+
+    # ------------------------------------------------------------------
+    # residual predicates
+    # ------------------------------------------------------------------
+
+    def _apply_residuals(self, residuals: List[Expression]) -> None:
+        for predicate in residuals:
+            first_map = next(iter(self._rowmaps.values()))
+            filtered = self._filter_by_bit(first_map, predicate, self._rowmaps)
+            # the selection on the shared row space applies to all maps
+            sel = filtered
+            for key in list(self._rowmaps):
+                self._rowmaps[key] = self.emit(
+                    "algebra", "semijoin", [self._rowmaps[key], sel],
+                    bat_of("oid"),
+                )
+            self._projection_cache.clear()
+
+    def _filter_by_bit(self, space_var: Var, predicate: Expression,
+                       rowmaps: Dict[str, Var]) -> Var:
+        """Compute ``predicate`` as a bit BAT over the row space and select
+        the true rows; returns a BAT whose heads are the surviving rows."""
+        bit = self._compile_expr(predicate, rowmaps)
+        if not self.is_bat(bit):
+            bit = self.emit("algebra", "project", [space_var, bit],
+                            bat_of("bit"))
+        return self.emit("algebra", "select", [bit, Const(True)],
+                         bat_of("bit"))
+
+    # ------------------------------------------------------------------
+    # row-space expression compilation
+    # ------------------------------------------------------------------
+
+    def _project(self, table_key: str, column: str) -> Var:
+        cached = self._projection_cache.get((table_key, column))
+        if cached is not None:
+            return cached
+        rowmap = self._rowmaps[table_key]
+        col_bat = self.bind_column(table_key, column)
+        var = self.emit("algebra", "leftjoin", [rowmap, col_bat],
+                        bat_of(self._column_type(table_key, column)))
+        self._projection_cache[(table_key, column)] = var
+        return var
+
+    def _compile_expr(self, expr: Expression,
+                      rowmaps: Dict[str, Var]):
+        """Compile an expression over the current row space.
+
+        Returns a Var (BAT when any input was a BAT, scalar otherwise) or
+        a Const for literal subtrees.
+        """
+        if isinstance(expr, Literal):
+            return Const(expr.value)
+        if isinstance(expr, Interval):
+            raise SqlError("interval literal outside date arithmetic")
+        if isinstance(expr, ColumnRef):
+            saved = self._rowmaps
+            self._rowmaps = rowmaps
+            try:
+                return self._project(expr.table_key, expr.column)
+            finally:
+                self._rowmaps = saved
+        if isinstance(expr, BinaryOp):
+            return self._compile_binary(expr, rowmaps)
+        if isinstance(expr, UnaryOp):
+            operand = self._compile_expr(expr.operand, rowmaps)
+            if expr.op == "NOT":
+                return self._emit_calc("not", [operand])
+            return self._emit_calc("neg", [operand])
+        if isinstance(expr, IsNull):
+            operand = self._compile_expr(expr.operand, rowmaps)
+            bit = self._emit_calc("isnil", [operand])
+            if expr.negated:
+                bit = self._emit_calc("not", [bit])
+            return bit
+        if isinstance(expr, Between):
+            lowered = BinaryOp(
+                "AND",
+                BinaryOp(">=", expr.operand, expr.low),
+                BinaryOp("<=", expr.operand, expr.high),
+            )
+            bit = self._compile_binary(lowered, rowmaps)
+            if expr.negated:
+                bit = self._emit_calc("not", [bit])
+            return bit
+        if isinstance(expr, InList):
+            bit = None
+            for item in expr.items:
+                eq = self._compile_binary(
+                    BinaryOp("=", expr.operand, item), rowmaps
+                )
+                bit = eq if bit is None else self._emit_calc("or", [bit, eq])
+            if expr.negated:
+                bit = self._emit_calc("not", [bit])
+            return bit
+        if isinstance(expr, Like):
+            operand = self._compile_expr(expr.operand, rowmaps)
+            if not self.is_bat(operand):
+                raise SqlError("LIKE over a non-column value")
+            bit = self.emit("batstr", "like", [operand, Const(expr.pattern)],
+                            bat_of("bit"))
+            if expr.negated:
+                bit = self._emit_calc("not", [bit])
+            return bit
+        if isinstance(expr, InSubquery):
+            members = self._compile_sub_select(expr)
+            operand = self._compile_expr(expr.operand, rowmaps)
+            if not self.is_bat(operand):
+                raise SqlError("IN (subquery) needs a column operand")
+            if self.is_bat(members):
+                bit = self.emit("batcalc", "contains", [operand, members],
+                                bat_of("bit"))
+            else:
+                bit = self._emit_calc("eq", [operand, members])
+            if expr.negated:
+                bit = self._emit_calc("not", [bit])
+            return bit
+        if isinstance(expr, ScalarSubquery):
+            value = self._compile_sub_select(expr)
+            if self.is_bat(value):
+                value = self.emit("sql", "single", [value],
+                                  scalar_of("int"), is_bat=False)
+            return value
+        if isinstance(expr, CaseWhen):
+            return self._compile_case(expr, rowmaps)
+        if isinstance(expr, Cast):
+            operand = self._compile_expr(expr.operand, rowmaps)
+            mal_type = _sql_type_to_mal(expr.type_name)
+            return self._emit_calc(mal_type.name, [operand])
+        if isinstance(expr, ExtractYear):
+            operand = self._compile_expr(expr.operand, rowmaps)
+            if self.is_bat(operand):
+                return self.emit("batmtime", "year", [operand], bat_of("int"))
+            return self.emit("mtime", "year", [operand], scalar_of("int"),
+                             is_bat=False)
+        if isinstance(expr, FuncCall):
+            raise SqlError(
+                f"aggregate {expr.name}() in a non-aggregate context"
+            )
+        raise SqlError(f"cannot compile expression {expr!r}")
+
+    def _compile_binary(self, expr: BinaryOp, rowmaps: Dict[str, Var]):
+        date_arith = self._try_date_arithmetic(expr, rowmaps)
+        if date_arith is not None:
+            return date_arith
+        left = self._compile_expr(expr.left, rowmaps)
+        right = self._compile_expr(expr.right, rowmaps)
+        if expr.op in _ARITH:
+            return self._emit_calc(_ARITH[expr.op], [left, right])
+        if expr.op in _CMP:
+            return self._emit_calc(_CMP[expr.op], [left, right])
+        if expr.op in ("AND", "OR"):
+            return self._emit_calc(expr.op.lower(), [left, right])
+        raise SqlError(f"unknown operator {expr.op!r}")
+
+    def _try_date_arithmetic(self, expr: BinaryOp, rowmaps: Dict[str, Var]):
+        """``date ± interval`` compiles to mtime/batmtime instructions."""
+        if expr.op not in ("+", "-"):
+            return None
+        interval = None
+        other = None
+        if isinstance(expr.right, Interval):
+            interval, other = expr.right, expr.left
+        elif isinstance(expr.left, Interval) and expr.op == "+":
+            interval, other = expr.left, expr.right
+        if interval is None:
+            return None
+        amount = interval.amount if expr.op == "+" else -interval.amount
+        if interval.unit == "day":
+            function = "adddays"
+        else:
+            function = "addmonths"
+            if interval.unit == "year":
+                amount *= 12
+        operand = self._compile_expr(other, rowmaps)
+        if self.is_bat(operand):
+            return self.emit("batmtime", function, [operand, Const(amount)],
+                             bat_of("date"))
+        return self.emit("mtime", function, [operand, Const(amount)],
+                         scalar_of("date"), is_bat=False)
+
+    def _compile_sub_select(self, expr):
+        """Compile an uncorrelated subquery into the enclosing program;
+        returns its single output value (BAT var or scalar)."""
+        if expr.sub_binder is None:
+            raise SqlError("subquery was not bound")
+        nested = _SelectCompiler(
+            self.catalog, self.schema, expr.select,
+            self.program.name, program=self.program,
+            bat_vars=self._bat_vars, binder=expr.sub_binder, mvc=self.mvc,
+        )
+        return nested.compile_subquery().value
+
+    def _compile_case(self, expr: CaseWhen, rowmaps: Dict[str, Var]):
+        otherwise = (
+            self._compile_expr(expr.otherwise, rowmaps)
+            if expr.otherwise is not None else Const(None)
+        )
+        result = otherwise
+        for condition, value in reversed(expr.branches):
+            cond = self._compile_expr(condition, rowmaps)
+            then = self._compile_expr(value, rowmaps)
+            result = self._emit_calc("ifthenelse", [cond, then, result])
+        return result
+
+    def _emit_calc(self, function: str, operands: List) -> Var:
+        """Scalar ``calc`` or elementwise ``batcalc`` depending on operand
+        BAT-ness."""
+        if any(self.is_bat(op) for op in operands):
+            return self.emit("batcalc", function, operands, bat_of("int"))
+        return self.emit("calc", function, operands, scalar_of("int"),
+                         is_bat=False)
+
+    # ------------------------------------------------------------------
+    # ungrouped output
+    # ------------------------------------------------------------------
+
+    def _compile_plain(self):
+        outputs: List[OutputColumn] = []
+        for item in self.select.items:
+            value = self._compile_expr(item.expr, self._rowmaps)
+            if isinstance(value, Const) or not self.is_bat(value):
+                space = next(iter(self._rowmaps.values()))
+                value = self.emit("algebra", "project", [space, value],
+                                  bat_of(self.binder.type_of(item.expr)))
+            outputs.append(OutputColumn(
+                name=item.alias or _display_name(item.expr),
+                type_name=self.binder.type_of(item.expr).name,
+                value=value, is_scalar=False,
+            ))
+        order_keys = self._compile_order_keys(
+            outputs, lambda e: self._compile_expr(e, self._rowmaps)
+        )
+        return outputs, order_keys
+
+    # ------------------------------------------------------------------
+    # grouped / aggregate output
+    # ------------------------------------------------------------------
+
+    def _compile_grouped(self):
+        select = self.select
+        group_exprs = select.group_by
+        if group_exprs:
+            key_vars = [
+                self._ensure_bat(self._compile_expr(e, self._rowmaps))
+                for e in group_exprs
+            ]
+            groups, extents, _hist = self._emit_grouping(key_vars)
+            group_env = _GroupEnv(self, groups, extents, group_exprs,
+                                  key_vars)
+        else:
+            group_env = _GroupEnv(self, None, None, [], [])
+        outputs: List[OutputColumn] = []
+        for item in select.items:
+            value = group_env.compile(item.expr)
+            if not group_env.scalar and not self.is_bat(value):
+                value = self.emit(
+                    "algebra", "project", [group_env.extents, value],
+                    bat_of(self.binder.type_of(item.expr)),
+                )
+            outputs.append(OutputColumn(
+                name=item.alias or _display_name(item.expr),
+                type_name=self.binder.type_of(item.expr).name,
+                value=value,
+                is_scalar=group_env.scalar,
+            ))
+        order_keys = self._compile_order_keys(outputs, group_env.compile)
+        if select.having is not None:
+            if group_env.scalar:
+                raise SqlError("HAVING without GROUP BY is not supported")
+            bit = group_env.compile(select.having)
+            if not self.is_bat(bit):
+                raise SqlError("HAVING must reference the grouping")
+            sel = self.emit("algebra", "select", [bit, Const(True)],
+                            bat_of("bit"))
+            for output in outputs:
+                output.value = self.emit(
+                    "algebra", "semijoin", [output.value, sel],
+                    bat_of(output.type_name),
+                )
+            order_keys = [
+                (self.emit("algebra", "semijoin", [var, sel], bat_of("int")),
+                 desc)
+                for var, desc in order_keys
+            ]
+        return outputs, order_keys
+
+    def _ensure_bat(self, value) -> Var:
+        if self.is_bat(value):
+            return value
+        space = next(iter(self._rowmaps.values()))
+        return self.emit("algebra", "project", [space, value], bat_of("int"))
+
+    def _emit_grouping(self, key_vars: List[Var]):
+        groups = extents = hist = None
+        for index, key in enumerate(key_vars):
+            results = [
+                self.program.new_var(bat_of("oid")),
+                self.program.new_var(bat_of("oid")),
+                self.program.new_var(bat_of("lng")),
+            ]
+            if index == 0:
+                self.program.add("group", "new", [key], results)
+            else:
+                self.program.add("group", "derive", [groups, key], results)
+            groups, extents, hist = (Var(r) for r in results)
+            for var in (groups, extents, hist):
+                self._bat_vars.add(var.name)
+        return groups, extents, hist
+
+    # ------------------------------------------------------------------
+    # ordering / limit / result
+    # ------------------------------------------------------------------
+
+    def _compile_order_keys(self, outputs: List[OutputColumn], compile_fn):
+        keys = []
+        aliases = {o.name: o for o in outputs}
+        item_reprs = {
+            repr(item.expr): output
+            for item, output in zip(self.select.items, outputs)
+        }
+        for order in self.select.order_by:
+            expr = order.expr
+            if isinstance(expr, Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not (0 <= index < len(outputs)):
+                    raise SqlError(f"ORDER BY position {expr.value} out of range")
+                keys.append((outputs[index].value, order.descending))
+                continue
+            if (isinstance(expr, ColumnRef) and expr.qualifier is None
+                    and expr.table_key is None and expr.column in aliases):
+                keys.append((aliases[expr.column].value, order.descending))
+                continue
+            matched = item_reprs.get(repr(expr))
+            if matched is not None:
+                keys.append((matched.value, order.descending))
+                continue
+            keys.append((self._ensure_bat(compile_fn(expr)), order.descending))
+        return keys
+
+    def _apply_ordering(self, outputs: List[OutputColumn], order_keys):
+        if not order_keys or all(o.is_scalar for o in outputs):
+            return outputs
+        perm: Optional[Var] = None
+        for key_var, descending in reversed(order_keys):
+            source = key_var if perm is None else self.emit(
+                "algebra", "leftjoin", [perm, key_var], bat_of("int")
+            )
+            function = "sortReverseTail" if descending else "sortTail"
+            sorted_var = self.emit("algebra", function, [source], bat_of("int"))
+            mirrored = self.emit("bat", "mirror", [sorted_var], bat_of("oid"))
+            this_perm = self.emit("algebra", "markT", [mirrored, Const(0)],
+                                  bat_of("oid"))
+            perm = this_perm if perm is None else self.emit(
+                "algebra", "leftjoin", [this_perm, perm], bat_of("oid")
+            )
+        for output in outputs:
+            output.value = self.emit(
+                "algebra", "leftjoin", [perm, output.value],
+                bat_of(output.type_name),
+            )
+        return outputs
+
+    def _apply_limit(self, outputs: List[OutputColumn]):
+        limit = self.select.limit
+        if limit is None or all(o.is_scalar for o in outputs):
+            return outputs
+        first = self.select.offset
+        last = first + limit - 1
+        for output in outputs:
+            output.value = self.emit(
+                "algebra", "slice",
+                [output.value, Const(first), Const(last)],
+                bat_of(output.type_name),
+            )
+        return outputs
+
+    def _emit_result(self, outputs: List[OutputColumn]) -> None:
+        rs = self.emit(
+            "sql", "resultSet", [Const(len(outputs)), Const(-1)],
+            scalar_of("oid"), is_bat=False,
+        )
+        table_label = ".".join(
+            [self.schema] + [self.select.tables[0].table]
+        )
+        for output in outputs:
+            rs = self.emit(
+                "sql", "rsColumn",
+                [rs, Const(table_label), Const(output.name),
+                 Const(output.type_name), output.value],
+                scalar_of("oid"), is_bat=False,
+            )
+        self.program.add("sql", "exportResult", [rs])
+
+
+class _GroupEnv:
+    """Expression compilation in group space (after GROUP BY) or scalar
+    aggregate space (aggregates without GROUP BY)."""
+
+    def __init__(self, compiler: _SelectCompiler, groups, extents,
+                 group_exprs: List[Expression], key_vars: List[Var]) -> None:
+        self.compiler = compiler
+        self.groups = groups
+        self.extents = extents
+        self.scalar = groups is None
+        self._key_by_repr = {
+            repr(e): var for e, var in zip(group_exprs, key_vars)
+        }
+        self._key_projection_cache: Dict[str, Var] = {}
+        self._aggregate_cache: Dict[str, Any] = {}
+
+    def compile(self, expr: Expression):
+        c = self.compiler
+        key = repr(expr)
+        if key in self._key_by_repr:
+            return self._project_key(key)
+        if isinstance(expr, FuncCall):
+            return self._aggregate(expr)
+        if isinstance(expr, Literal):
+            return Const(expr.value)
+        if isinstance(expr, BinaryOp):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            if expr.op in _ARITH:
+                return c._emit_calc(_ARITH[expr.op], [left, right])
+            if expr.op in _CMP:
+                return c._emit_calc(_CMP[expr.op], [left, right])
+            if expr.op in ("AND", "OR"):
+                return c._emit_calc(expr.op.lower(), [left, right])
+            raise SqlError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, UnaryOp):
+            operand = self.compile(expr.operand)
+            return c._emit_calc("not" if expr.op == "NOT" else "neg",
+                                [operand])
+        if isinstance(expr, Cast):
+            operand = self.compile(expr.operand)
+            return c._emit_calc(_sql_type_to_mal(expr.type_name).name,
+                                [operand])
+        if isinstance(expr, ScalarSubquery):
+            value = c._compile_sub_select(expr)
+            if c.is_bat(value):
+                value = c.emit("sql", "single", [value], scalar_of("int"),
+                               is_bat=False)
+            return value
+        if isinstance(expr, ColumnRef):
+            raise SqlError(
+                f"column {expr.display()!r} is neither grouped nor aggregated"
+            )
+        raise SqlError(f"cannot compile {type(expr).__name__} in group space")
+
+    def _project_key(self, key_repr: str) -> Var:
+        cached = self._key_projection_cache.get(key_repr)
+        if cached is not None:
+            return cached
+        c = self.compiler
+        var = c.emit(
+            "algebra", "leftjoin", [self.extents, self._key_by_repr[key_repr]],
+            bat_of("int"),
+        )
+        self._key_projection_cache[key_repr] = var
+        return var
+
+    def _aggregate(self, call: FuncCall):
+        key = repr(call)
+        cached = self._aggregate_cache.get(key)
+        if cached is not None:
+            return cached
+        c = self.compiler
+        if call.star or not call.args:
+            source = next(iter(c._rowmaps.values()))
+        else:
+            source = c._ensure_bat(c._compile_expr(call.args[0], c._rowmaps))
+        if self.scalar:
+            result_type = scalar_of("lng" if call.name == "count" else "dbl")
+            var = c.emit("aggr", call.name, [source], result_type,
+                         is_bat=False)
+        else:
+            var = c.emit(
+                "aggr", call.name, [source, self.groups, self.extents],
+                bat_of("lng" if call.name == "count" else "dbl"),
+            )
+        self._aggregate_cache[key] = var
+        return var
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+_NOT_CONST = object()
+
+
+def _const_eval(expr: Expression):
+    """Evaluate a literal-only expression at compile time; returns
+    ``_NOT_CONST`` when the expression involves columns or aggregates."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        value = _const_eval(expr.operand)
+        if value is _NOT_CONST or value is None:
+            return _NOT_CONST
+        return -value
+    if isinstance(expr, Cast):
+        value = _const_eval(expr.operand)
+        if value is _NOT_CONST or value is None:
+            return _NOT_CONST
+        from repro.storage.types import cast_value
+
+        return cast_value(value, _sql_type_to_mal(expr.type_name))
+    if isinstance(expr, BinaryOp) and expr.op in ("+", "-", "*", "/", "%"):
+        if isinstance(expr.right, Interval) or isinstance(expr.left, Interval):
+            return _const_interval_arith(expr)
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is _NOT_CONST or right is _NOT_CONST:
+            return _NOT_CONST
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left / right if right else None
+            return left % right if right else None
+        except TypeError:
+            return _NOT_CONST
+    return _NOT_CONST
+
+
+def _const_interval_arith(expr: BinaryOp):
+    if isinstance(expr.right, Interval):
+        base = _const_eval(expr.left)
+        interval = expr.right
+    elif expr.op == "+":
+        base = _const_eval(expr.right)
+        interval = expr.left
+    else:
+        return _NOT_CONST
+    if base is _NOT_CONST or not isinstance(base, datetime.date):
+        return _NOT_CONST
+    amount = interval.amount if expr.op == "+" else -interval.amount
+    if interval.unit == "day":
+        return base + datetime.timedelta(days=amount)
+    months = amount * (12 if interval.unit == "year" else 1)
+    from repro.mal.modules.mtime import addmonths
+
+    return addmonths(None, None, [base, months])
+
+
+def _split_conjuncts(expr: Optional[Expression]) -> List[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _tables_of(expr: Expression) -> Set[str]:
+    found: Set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ColumnRef):
+            if node.table_key:
+                found.add(node.table_key)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, (IsNull, Like, Cast, ExtractYear)):
+            walk(node.operand)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, InSubquery):
+            walk(node.operand)  # the subquery itself is uncorrelated
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, CaseWhen):
+            for condition, value in node.branches:
+                walk(condition)
+                walk(value)
+            if node.otherwise is not None:
+                walk(node.otherwise)
+
+    walk(expr)
+    return found
+
+
+def _display_name(expr: Expression) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.column
+    if isinstance(expr, FuncCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        return f"{expr.name}({_display_name(expr.args[0])})"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"{_display_name(expr.left)}{expr.op}{_display_name(expr.right)}"
+        )
+    if isinstance(expr, Literal):
+        return str(expr.value)
+    if isinstance(expr, Cast):
+        return _display_name(expr.operand)
+    if isinstance(expr, ExtractYear):
+        return f"year({_display_name(expr.operand)})"
+    return "expr"

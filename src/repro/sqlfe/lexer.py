@@ -1,0 +1,88 @@
+"""SQL lexer.
+
+Produces a flat token stream; keywords are case-insensitive and reported
+upper-case, identifiers are lower-cased (MonetDB folds unquoted
+identifiers to lower case), string literals keep their exact content.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import SqlParseError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "BETWEEN", "IN", "LIKE", "IS", "NULL", "TRUE", "FALSE",
+    "JOIN", "INNER", "ON", "CREATE", "TABLE", "INSERT", "INTO",
+    "VALUES", "DATE", "INTERVAL", "DAY", "MONTH", "YEAR",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "EXTRACT", "SUBSTRING", "FOR", "DROP", "CAST",
+}
+
+
+class Token:
+    """One lexical unit: kind, text and source position."""
+
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind  # keyword | name | number | string | op | eof
+        self.text = text
+        self.pos = pos
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.text in words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qname>"[^"]+")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|>=|!=|\|\||[-+*/%(),.;<>=])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split SQL text into tokens.
+
+    Raises:
+        SqlParseError: on characters outside the grammar.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlParseError(
+                f"unexpected character {sql[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "name":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, pos))
+            else:
+                tokens.append(Token("name", text.lower(), pos))
+        elif kind == "qname":
+            tokens.append(Token("name", text[1:-1], pos))
+        elif kind == "string":
+            tokens.append(Token("string", text[1:-1].replace("''", "'"), pos))
+        elif kind in ("number", "op"):
+            tokens.append(Token(kind, text, pos))
+        # whitespace and comments are dropped
+        pos = match.end()
+    tokens.append(Token("eof", "", len(sql)))
+    return tokens

@@ -1,0 +1,449 @@
+"""Recursive-descent SQL parser.
+
+Entry point :func:`parse_sql` returns one statement per input string
+(trailing semicolon optional).  Errors raise
+:class:`~repro.errors.SqlParseError` with the offending token.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional
+
+from repro.errors import SqlParseError
+from repro.sqlfe.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CreateTable,
+    DropTable,
+    ExtractYear,
+    FuncCall,
+    InList,
+    InSubquery,
+    Insert,
+    Interval,
+    IsNull,
+    JoinCondition,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Statement,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlfe.lexer import Token, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> SqlParseError:
+        token = self.peek()
+        return SqlParseError(f"{message} (near {token.text!r})")
+
+    def expect_keyword(self, *words: str) -> Token:
+        if not self.peek().is_keyword(*words):
+            raise self.error(f"expected {' or '.join(words)}")
+        return self.advance()
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if self.peek().is_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_op(self, text: str) -> Token:
+        token = self.peek()
+        if token.kind != "op" or token.text != text:
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def accept_op(self, text: str) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == "op" and token.text == text:
+            return self.advance()
+        return None
+
+    def expect_name(self) -> str:
+        token = self.peek()
+        if token.kind != "name":
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    # -- statements --------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.peek().is_keyword("SELECT"):
+            stmt = self.parse_select()
+        elif self.peek().is_keyword("CREATE"):
+            stmt = self.parse_create()
+        elif self.peek().is_keyword("DROP"):
+            stmt = self.parse_drop()
+        elif self.peek().is_keyword("INSERT"):
+            stmt = self.parse_insert()
+        else:
+            raise self.error("expected SELECT, CREATE, DROP or INSERT")
+        self.accept_op(";")
+        if self.peek().kind != "eof":
+            raise self.error("trailing input after statement")
+        return stmt
+
+    def parse_create(self) -> CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        table = self.expect_name()
+        self.expect_op("(")
+        columns = []
+        while True:
+            name = self.expect_name()
+            type_name = self._parse_type_name()
+            columns.append((name, type_name))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return CreateTable(table, columns)
+
+    def _parse_type_name(self) -> str:
+        token = self.peek()
+        if token.kind == "name":
+            base = self.advance().text
+        elif token.is_keyword("DATE"):
+            self.advance()
+            base = "date"
+        else:
+            raise self.error("expected type name")
+        if self.accept_op("("):
+            parts = [self.advance().text]
+            while self.accept_op(","):
+                parts.append(self.advance().text)
+            self.expect_op(")")
+            base += "(" + ",".join(parts) + ")"
+        return base
+
+    def parse_drop(self) -> DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        return DropTable(self.expect_name())
+
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_name()
+        self.expect_keyword("VALUES")
+        rows = []
+        while True:
+            self.expect_op("(")
+            row = [self.parse_expression()]
+            while self.accept_op(","):
+                row.append(self.parse_expression())
+            self.expect_op(")")
+            rows.append(row)
+            if not self.accept_op(","):
+                break
+        return Insert(table, rows)
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self._parse_select_item()]
+        while self.accept_op(","):
+            items.append(self._parse_select_item())
+        self.expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        join_conditions: List[JoinCondition] = []
+        while True:
+            if self.accept_op(","):
+                tables.append(self._parse_table_ref())
+            elif self.peek().is_keyword("JOIN", "INNER"):
+                self.accept_keyword("INNER")
+                self.expect_keyword("JOIN")
+                tables.append(self._parse_table_ref())
+                self.expect_keyword("ON")
+                left = self._parse_column_ref()
+                self.expect_op("=")
+                right = self._parse_column_ref()
+                join_conditions.append(JoinCondition(left, right))
+            else:
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        group_by: List = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_op(","):
+                group_by.append(self.parse_expression())
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expression()
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self._parse_order_item())
+        limit = None
+        offset = 0
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != "number" or "." in token.text:
+                raise self.error("LIMIT expects an integer")
+            limit = int(self.advance().text)
+            if self.accept_keyword("OFFSET"):
+                token = self.peek()
+                if token.kind != "number" or "." in token.text:
+                    raise self.error("OFFSET expects an integer")
+                offset = int(self.advance().text)
+        return Select(items, tables, join_conditions, where, group_by,
+                      having, order_by, limit, offset, distinct)
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_name()
+        elif self.peek().kind == "name":
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self.expect_name()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_name()
+        elif self.peek().kind == "name":
+            alias = self.advance().text
+        return TableRef(table, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr, descending)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self.expect_name()
+        if self.accept_op("."):
+            return ColumnRef(self.expect_name(), qualifier=first)
+        return ColumnRef(first)
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in _COMPARISONS:
+            op = self.advance().text
+            if op == "!=":
+                op = "<>"
+            return BinaryOp(op, left, self._parse_additive())
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            if self.peek().is_keyword("SELECT"):
+                sub_select = self.parse_select()
+                self.expect_op(")")
+                return InSubquery(left, sub_select, negated)
+            items = [self.parse_expression()]
+            while self.accept_op(","):
+                items.append(self.parse_expression())
+            self.expect_op(")")
+            return InList(left, items, negated)
+        if self.accept_keyword("LIKE"):
+            token = self.peek()
+            if token.kind != "string":
+                raise self.error("LIKE expects a string literal pattern")
+            return Like(left, self.advance().text, negated)
+        if self.accept_keyword("IS"):
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return IsNull(left, is_negated)
+        if negated:
+            raise self.error("expected BETWEEN, IN or LIKE after NOT")
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            if self.accept_op("+"):
+                left = BinaryOp("+", left, self._parse_multiplicative())
+            elif self.accept_op("-"):
+                left = BinaryOp("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            if self.accept_op("*"):
+                left = BinaryOp("*", left, self._parse_unary())
+            elif self.accept_op("/"):
+                left = BinaryOp("/", left, self._parse_unary())
+            elif self.accept_op("%"):
+                left = BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        if self.accept_op("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            value = float(token.text) if "." in token.text or "e" in token.text.lower() else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("DATE"):
+            self.advance()
+            text_token = self.peek()
+            if text_token.kind != "string":
+                raise self.error("DATE expects a quoted ISO date")
+            self.advance()
+            try:
+                return Literal(datetime.date.fromisoformat(text_token.text))
+            except ValueError:
+                raise self.error(f"bad date literal {text_token.text!r}")
+        if token.is_keyword("INTERVAL"):
+            self.advance()
+            amount_token = self.peek()
+            if amount_token.kind == "string":
+                amount = int(self.advance().text)
+            elif amount_token.kind == "number":
+                amount = int(self.advance().text)
+            else:
+                raise self.error("INTERVAL expects a number")
+            unit = self.expect_keyword("DAY", "MONTH", "YEAR").text.lower()
+            return Interval(amount, unit)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            self.advance()
+            self.expect_op("(")
+            operand = self.parse_expression()
+            self.expect_keyword("AS")
+            type_name = self._parse_type_name()
+            self.expect_op(")")
+            return Cast(operand, type_name)
+        if token.is_keyword("EXTRACT"):
+            self.advance()
+            self.expect_op("(")
+            self.expect_keyword("YEAR")
+            self.expect_keyword("FROM")
+            operand = self.parse_expression()
+            self.expect_op(")")
+            return ExtractYear(operand)
+        if token.kind == "keyword" and token.text in _AGGREGATES:
+            self.advance()
+            name = token.text.lower()
+            self.expect_op("(")
+            if name == "count" and self.accept_op("*"):
+                self.expect_op(")")
+                return FuncCall(name, [], star=True)
+            self.accept_keyword("DISTINCT")  # parsed, handled by binder
+            args = [self.parse_expression()]
+            self.expect_op(")")
+            return FuncCall(name, args)
+        if self.accept_op("("):
+            if self.peek().is_keyword("SELECT"):
+                sub_select = self.parse_select()
+                self.expect_op(")")
+                return ScalarSubquery(sub_select)
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == "name":
+            return self._parse_column_ref()
+        raise self.error("expected expression")
+
+    def _parse_case(self):
+        self.expect_keyword("CASE")
+        branches = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            branches.append((condition, self.parse_expression()))
+        otherwise = None
+        if self.accept_keyword("ELSE"):
+            otherwise = self.parse_expression()
+        self.expect_keyword("END")
+        if not branches:
+            raise self.error("CASE needs at least one WHEN branch")
+        return CaseWhen(branches, otherwise)
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement.
+
+    Raises:
+        SqlParseError: on any syntax error.
+    """
+    return _Parser(sql).parse_statement()

@@ -1,0 +1,49 @@
+"""Columnar storage substrate: BATs, typed columns, and a catalog.
+
+MonetDB stores every column as a *Binary Association Table* (BAT): a table
+of (head, tail) pairs where the head is an object identifier (oid) and the
+tail a value.  The MAL algebra operates on BATs.  This package provides a
+faithful in-memory Python model of that storage layer, sufficient to run
+real query plans produced by the SQL front end.
+"""
+
+from repro.storage.types import (
+    BIT,
+    DATE,
+    DBL,
+    FLT,
+    INT,
+    LNG,
+    OID,
+    STR,
+    MalType,
+    cast_value,
+    infer_type,
+    nil,
+    parse_value,
+    type_by_name,
+)
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog, Column, Schema, Table
+
+__all__ = [
+    "BAT",
+    "BIT",
+    "DATE",
+    "DBL",
+    "FLT",
+    "INT",
+    "LNG",
+    "OID",
+    "STR",
+    "Catalog",
+    "Column",
+    "MalType",
+    "Schema",
+    "Table",
+    "cast_value",
+    "infer_type",
+    "nil",
+    "parse_value",
+    "type_by_name",
+]

@@ -1,0 +1,552 @@
+"""The Binary Association Table (BAT), MonetDB's storage primitive.
+
+A BAT is a two-column table of (head, tail) associations.  The head column
+holds object identifiers (oids); the tail holds values of one atom type.
+MonetDB stores relational columns as BATs with a *void* (virtual oid) head:
+a dense sequence ``seqbase, seqbase+1, ...`` that occupies no memory.
+
+This module implements the BAT operations the MAL ``algebra``/``bat``
+modules need: selections, joins, projections, ordering, grouping and
+aggregation — with the old (pre-2012) MonetDB semantics the paper's plans
+use, e.g. ``algebra.select`` returns a BAT of qualifying (oid, value) pairs
+and ``algebra.leftjoin(a, b)`` matches ``a``'s tail against ``b``'s head.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError, TypeMismatchError
+from repro.storage.types import BIT, DBL, INT, LNG, OID, MalType, cast_value, nil
+
+_OPS: dict = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class BAT:
+    """An in-memory Binary Association Table.
+
+    Args:
+        tail_type: atom type of the tail column.
+        values: initial tail values (cast to ``tail_type``; nil passes).
+        head: explicit head oids, or None for a void head.
+        hseqbase: seqbase of the void head (ignored when ``head`` given).
+
+    The head is *void* when ``head is None``: the i-th association then has
+    head oid ``hseqbase + i``.  Operations preserve voidness when they can,
+    exactly like MonetDB, because void heads are what make positional
+    lookups (fetch joins) O(1).
+    """
+
+    __slots__ = ("tail_type", "tail", "head", "hseqbase")
+
+    def __init__(
+        self,
+        tail_type: MalType,
+        values: Optional[Iterable[Any]] = None,
+        head: Optional[Sequence[int]] = None,
+        hseqbase: int = 0,
+    ) -> None:
+        self.tail_type = tail_type
+        self.tail: List[Any] = (
+            [cast_value(v, tail_type) for v in values] if values is not None else []
+        )
+        self.head: Optional[List[int]] = list(head) if head is not None else None
+        self.hseqbase = hseqbase
+        if self.head is not None and len(self.head) != len(self.tail):
+            raise StorageError(
+                f"head/tail length mismatch: {len(self.head)} vs {len(self.tail)}"
+            )
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of associations (MAL ``aggr.count``)."""
+        return len(self.tail)
+
+    def __len__(self) -> int:
+        return len(self.tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "void" if self.is_void_head else "oid"
+        return f"BAT[{kind},{self.tail_type.name}]#{len(self)}"
+
+    @property
+    def is_void_head(self) -> bool:
+        """True when the head is a virtual dense oid sequence."""
+        return self.head is None
+
+    def head_at(self, index: int) -> int:
+        """Head oid of the association at ``index``."""
+        if self.head is None:
+            return self.hseqbase + index
+        return self.head[index]
+
+    def heads(self) -> Iterator[int]:
+        """Iterate over head oids in association order."""
+        if self.head is None:
+            return iter(range(self.hseqbase, self.hseqbase + len(self.tail)))
+        return iter(self.head)
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate over (head oid, tail value) pairs."""
+        return zip(self.heads(), self.tail)
+
+    def append(self, value: Any) -> None:
+        """Append one association with the next dense head oid."""
+        if self.head is not None:
+            self.head.append((self.head[-1] + 1) if self.head else self.hseqbase)
+        self.tail.append(cast_value(value, self.tail_type))
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Append many tail values (see :meth:`append`)."""
+        for value in values:
+            self.append(value)
+
+    def bytes(self) -> int:
+        """Approximate memory footprint, for rss accounting in traces."""
+        head_bytes = 0 if self.head is None else 8 * len(self.head)
+        if self.tail_type.name == "str":
+            tail_bytes = sum(8 + len(v) for v in self.tail if v is not nil)
+            tail_bytes += 8 * sum(1 for v in self.tail if v is nil)
+        else:
+            tail_bytes = self.tail_type.width * len(self.tail)
+        return head_bytes + tail_bytes
+
+    def copy(self) -> "BAT":
+        """Deep-enough copy (tails hold immutable atoms)."""
+        out = BAT(self.tail_type, hseqbase=self.hseqbase)
+        out.tail = list(self.tail)
+        out.head = None if self.head is None else list(self.head)
+        return out
+
+    def _like(self, heads: Optional[List[int]], tail: List[Any],
+              tail_type: Optional[MalType] = None, hseqbase: int = 0) -> "BAT":
+        out = BAT(tail_type or self.tail_type, hseqbase=hseqbase)
+        out.tail = tail
+        out.head = heads
+        return out
+
+    # ------------------------------------------------------------------
+    # selections
+    # ------------------------------------------------------------------
+
+    def select(self, low: Any, high: Any = "__unset__",
+               include_low: bool = True, include_high: bool = True) -> "BAT":
+        """Range/point selection (MAL ``algebra.select``).
+
+        With one argument, selects associations whose tail equals ``low``.
+        With two, selects tails in the (by default closed) interval
+        ``[low, high]``; a nil bound means unbounded on that side.  nil
+        tails never qualify.  Returns a BAT of qualifying (head oid, value)
+        pairs with a materialised head.
+        """
+        if high == "__unset__":
+            return self._filter(lambda v: v == low)
+        low_ok: Callable[[Any], bool]
+        if low is nil:
+            low_ok = lambda v: True
+        elif include_low:
+            low_ok = lambda v: v >= low
+        else:
+            low_ok = lambda v: v > low
+        if high is nil:
+            high_ok: Callable[[Any], bool] = lambda v: True
+        elif include_high:
+            high_ok = lambda v: v <= high
+        else:
+            high_ok = lambda v: v < high
+        return self._filter(lambda v: low_ok(v) and high_ok(v))
+
+    def thetaselect(self, value: Any, op: str) -> "BAT":
+        """Selection with a comparison operator (MAL ``algebra.thetaselect``)."""
+        try:
+            cmp = _OPS[op]
+        except KeyError:
+            raise StorageError(f"unknown theta operator {op!r}") from None
+        return self._filter(lambda v: cmp(v, value))
+
+    def likeselect(self, pattern: str) -> "BAT":
+        """SQL LIKE selection over string tails (``%`` and ``_`` wildcards)."""
+        import re
+
+        if self.tail_type.name != "str":
+            raise TypeMismatchError("likeselect requires a str tail")
+        regex = re.compile(
+            "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+            re.DOTALL,
+        )
+        return self._filter(lambda v: regex.match(v) is not None)
+
+    def _filter(self, predicate: Callable[[Any], bool]) -> "BAT":
+        heads: List[int] = []
+        tail: List[Any] = []
+        for oid, value in self.items():
+            if value is nil:
+                continue
+            if predicate(value):
+                heads.append(oid)
+                tail.append(value)
+        return self._like(heads, tail)
+
+    # ------------------------------------------------------------------
+    # joins and projections
+    # ------------------------------------------------------------------
+
+    def leftjoin(self, other: "BAT") -> "BAT":
+        """``algebra.leftjoin``: match self's tail against other's head.
+
+        Produces (self.head, other.tail) for every matching pair, keeping
+        self's order.  When ``other`` has a void head this is a positional
+        fetch; otherwise a hash join on other's head.  nil tails in self
+        never match (oid nil semantics).
+        """
+        heads: List[int] = []
+        tail: List[Any] = []
+        if other.head is None:
+            base, size = other.hseqbase, len(other.tail)
+            for oid, value in self.items():
+                if value is nil:
+                    continue
+                pos = int(value) - base
+                if 0 <= pos < size:
+                    heads.append(oid)
+                    tail.append(other.tail[pos])
+        else:
+            index: dict = {}
+            for pos, hoid in enumerate(other.head):
+                index.setdefault(hoid, []).append(pos)
+            for oid, value in self.items():
+                if value is nil:
+                    continue
+                for pos in index.get(value, ()):
+                    heads.append(oid)
+                    tail.append(other.tail[pos])
+        return self._like(heads, tail, tail_type=other.tail_type)
+
+    def leftfetchjoin(self, other: "BAT") -> "BAT":
+        """``algebra.leftfetchjoin``: positional fetch, errors on misses.
+
+        Like :meth:`leftjoin` against a void-headed ``other``, but a tail
+        oid outside ``other`` is an error rather than a dropped row — this
+        is the projection step plans rely on to preserve cardinality.
+        """
+        heads: List[int] = []
+        tail: List[Any] = []
+        base = other.hseqbase if other.head is None else None
+        index = None
+        if other.head is not None:
+            index = {hoid: pos for pos, hoid in enumerate(other.head)}
+        for oid, value in self.items():
+            if value is nil:
+                heads.append(oid)
+                tail.append(nil)
+                continue
+            if base is not None:
+                pos = int(value) - base
+                if not (0 <= pos < len(other.tail)):
+                    raise StorageError(f"fetchjoin miss for oid {value}")
+            else:
+                try:
+                    pos = index[value]  # type: ignore[index]
+                except KeyError:
+                    raise StorageError(f"fetchjoin miss for oid {value}") from None
+            heads.append(oid)
+            tail.append(other.tail[pos])
+        return self._like(heads, tail, tail_type=other.tail_type)
+
+    def join(self, other: "BAT") -> "BAT":
+        """``algebra.join``: equi-join self.tail with other.head.
+
+        Returns (self.head, other.tail) pairs for every match, without an
+        order guarantee in MonetDB; here we keep self-major order, which is
+        a legal refinement.
+        """
+        return self.leftjoin(other)
+
+    def reverse(self) -> "BAT":
+        """``bat.reverse``: swap head and tail columns.
+
+        The resulting tail holds the old head oids (type oid); the head is
+        materialised from the old tail.  Old MonetDB BAT heads may be of
+        any atom type (value-keyed joins reverse a value column), so any
+        non-nil tail is accepted as the new head.
+        """
+        new_tail = list(self.heads())
+        new_head = []
+        for value in self.tail:
+            if value is nil:
+                raise StorageError("cannot reverse a BAT with nil tails")
+            new_head.append(value)
+        return self._like(new_head, new_tail, tail_type=OID)
+
+    def mirror(self) -> "BAT":
+        """``bat.mirror``: (head, head) pairs — an identity over the head."""
+        heads = list(self.heads())
+        return self._like(list(heads), list(heads), tail_type=OID)
+
+    def mark(self, base: int = 0) -> "BAT":
+        """``algebra.markT``: renumber as a dense void head starting at base."""
+        return self._like(None, list(self.tail), hseqbase=base)
+
+    def project(self, value: Any, value_type: Optional[MalType] = None) -> "BAT":
+        """``algebra.project``: constant tail with self's heads."""
+        if value_type is None:
+            from repro.storage.types import infer_type
+
+            value_type = self.tail_type if value is nil else infer_type(value)
+        heads = None if self.head is None else list(self.head)
+        out = BAT(value_type, hseqbase=self.hseqbase)
+        out.head = heads
+        out.tail = [cast_value(value, value_type)] * len(self.tail)
+        return out
+
+    def slice_(self, first: int, last: int) -> "BAT":
+        """``algebra.slice``: positions ``first..last`` inclusive."""
+        first = max(first, 0)
+        last = min(last, len(self.tail) - 1)
+        if last < first:
+            return self._like([], [])
+        heads = [self.head_at(i) for i in range(first, last + 1)]
+        return self._like(heads, self.tail[first : last + 1])
+
+    def kdifference(self, other: "BAT") -> "BAT":
+        """``algebra.kdifference``: keep associations whose head is absent
+        from other's head column (anti-semijoin on heads)."""
+        other_heads = set(other.heads())
+        heads: List[int] = []
+        tail: List[Any] = []
+        for oid, value in self.items():
+            if oid not in other_heads:
+                heads.append(oid)
+                tail.append(value)
+        return self._like(heads, tail)
+
+    def semijoin(self, other: "BAT") -> "BAT":
+        """``algebra.semijoin``: keep associations whose head occurs in
+        other's head column."""
+        other_heads = set(other.heads())
+        heads: List[int] = []
+        tail: List[Any] = []
+        for oid, value in self.items():
+            if oid in other_heads:
+                heads.append(oid)
+                tail.append(value)
+        return self._like(heads, tail)
+
+    # ------------------------------------------------------------------
+    # ordering and grouping
+    # ------------------------------------------------------------------
+
+    def sort(self, reverse: bool = False) -> "BAT":
+        """``algebra.sortTail``: stable sort by tail value, nils first."""
+        order = sorted(
+            range(len(self.tail)),
+            key=lambda i: (self.tail[i] is not nil, self.tail[i])
+            if not reverse
+            else (self.tail[i] is nil, _NegKey(self.tail[i])),
+        )
+        heads = [self.head_at(i) for i in order]
+        tail = [self.tail[i] for i in order]
+        return self._like(heads, tail)
+
+    def group(self) -> Tuple["BAT", "BAT", "BAT"]:
+        """``group.new``-style grouping on tail values.
+
+        Returns (groups, extents, histogram):
+          * groups: void head, tail = dense group id per input position;
+          * extents: void head, tail = head oid of each group's first row;
+          * histogram: void head, tail = group sizes.
+        """
+        mapping: dict = {}
+        group_ids: List[int] = []
+        extents: List[int] = []
+        hist: List[int] = []
+        for oid, value in self.items():
+            key = ("\0nil",) if value is nil else value
+            gid = mapping.get(key)
+            if gid is None:
+                gid = len(mapping)
+                mapping[key] = gid
+                extents.append(oid)
+                hist.append(0)
+            hist[gid] += 1
+            group_ids.append(gid)
+        groups = BAT(OID, group_ids, hseqbase=self.hseqbase)
+        return groups, BAT(OID, extents), BAT(LNG, hist)
+
+    def refine_group(self, groups: "BAT") -> Tuple["BAT", "BAT", "BAT"]:
+        """Refine an existing grouping with this BAT's tail values
+        (``group.derive``): rows agree iff old group id and value agree."""
+        if len(groups) != len(self):
+            raise StorageError("group refinement length mismatch")
+        mapping: dict = {}
+        group_ids: List[int] = []
+        extents: List[int] = []
+        hist: List[int] = []
+        for (oid, value), gid_old in zip(self.items(), groups.tail):
+            key = (gid_old, ("\0nil",) if value is nil else value)
+            gid = mapping.get(key)
+            if gid is None:
+                gid = len(mapping)
+                mapping[key] = gid
+                extents.append(oid)
+                hist.append(0)
+            hist[gid] += 1
+            group_ids.append(gid)
+        out_groups = BAT(OID, group_ids, hseqbase=self.hseqbase)
+        return out_groups, BAT(OID, extents), BAT(LNG, hist)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    def aggregate(self, func: str) -> Any:
+        """Scalar aggregate over non-nil tails (``aggr.sum`` etc.).
+
+        ``count`` counts all associations (MonetDB counts nils too for
+        ``count(*)``-style counts); the others skip nils and return nil on
+        an all-nil/empty input.
+        """
+        if func == "count":
+            return len(self.tail)
+        values = [v for v in self.tail if v is not nil]
+        if not values:
+            return nil
+        if func == "sum":
+            return sum(values)
+        if func == "min":
+            return min(values)
+        if func == "max":
+            return max(values)
+        if func == "avg":
+            return float(sum(values)) / len(values)
+        raise StorageError(f"unknown aggregate {func!r}")
+
+    def grouped_aggregate(self, groups: "BAT", ngroups: int, func: str) -> "BAT":
+        """Per-group aggregate; returns one tail value per group id."""
+        if len(groups) != len(self):
+            raise StorageError("grouped aggregate length mismatch")
+        buckets: List[List[Any]] = [[] for _ in range(ngroups)]
+        counts = [0] * ngroups
+        for value, gid in zip(self.tail, groups.tail):
+            gid = int(gid)
+            counts[gid] += 1
+            if value is not nil:
+                buckets[gid].append(value)
+        out_type = self.tail_type
+        results: List[Any] = []
+        if func == "count":
+            results = list(counts)
+            out_type = LNG
+        else:
+            for bucket in buckets:
+                if not bucket:
+                    results.append(nil)
+                elif func == "sum":
+                    results.append(sum(bucket))
+                elif func == "min":
+                    results.append(min(bucket))
+                elif func == "max":
+                    results.append(max(bucket))
+                elif func == "avg":
+                    results.append(float(sum(bucket)) / len(bucket))
+                else:
+                    raise StorageError(f"unknown aggregate {func!r}")
+            if func == "avg":
+                out_type = DBL
+        out = BAT(out_type)
+        out.tail = results
+        return out
+
+    # ------------------------------------------------------------------
+    # elementwise calculation (MAL batcalc)
+    # ------------------------------------------------------------------
+
+    def calc(self, other: "BAT", op: str, out_type: Optional[MalType] = None) -> "BAT":
+        """Elementwise binary op with another BAT of equal length."""
+        if len(other) != len(self):
+            raise StorageError("batcalc length mismatch")
+        fn = _calc_fn(op)
+        tail = [
+            nil if (a is nil or b is nil) else fn(a, b)
+            for a, b in zip(self.tail, other.tail)
+        ]
+        return self._calc_out(tail, op, out_type, other.tail_type)
+
+    def calc_const(self, value: Any, op: str, swapped: bool = False,
+                   out_type: Optional[MalType] = None) -> "BAT":
+        """Elementwise binary op against a constant."""
+        fn = _calc_fn(op)
+        if value is nil:
+            tail: List[Any] = [nil] * len(self.tail)
+        elif swapped:
+            tail = [nil if v is nil else fn(value, v) for v in self.tail]
+        else:
+            tail = [nil if v is nil else fn(v, value) for v in self.tail]
+        from repro.storage.types import infer_type
+
+        other_type = self.tail_type if value is nil else infer_type(value)
+        return self._calc_out(tail, op, out_type, other_type)
+
+    def _calc_out(self, tail: List[Any], op: str,
+                  out_type: Optional[MalType], other_type: MalType) -> "BAT":
+        if out_type is None:
+            if op in _OPS or op in ("and", "or"):
+                out_type = BIT
+            elif op == "/":
+                out_type = DBL
+            else:
+                from repro.storage.types import promote
+
+                try:
+                    out_type = promote(self.tail_type, other_type)
+                except TypeMismatchError:
+                    out_type = self.tail_type
+        heads = None if self.head is None else list(self.head)
+        out = BAT(out_type, hseqbase=self.hseqbase)
+        out.head = heads
+        out.tail = [cast_value(v, out_type) for v in tail]
+        return out
+
+
+class _NegKey:
+    """Ordering adapter that inverts comparisons, for descending sorts of
+    values that may not support unary minus (e.g. strings, dates)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_NegKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NegKey) and other.value == self.value
+
+
+def _calc_fn(op: str) -> Callable[[Any, Any], Any]:
+    if op in _OPS:
+        return _OPS[op]
+    table: dict = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b if b else nil,
+        "%": lambda a, b: a % b if b else nil,
+        "and": lambda a, b: a and b,
+        "or": lambda a, b: a or b,
+    }
+    try:
+        return table[op]
+    except KeyError:
+        raise StorageError(f"unknown calc operator {op!r}") from None

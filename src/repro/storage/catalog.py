@@ -1,0 +1,194 @@
+"""Relational catalog over BAT storage.
+
+A :class:`Catalog` holds named :class:`Schema` objects; each schema holds
+:class:`Table` objects; each table column is one void-headed :class:`BAT`.
+This is the structure MAL's ``sql.bind`` taps into: binding a column of a
+table yields its BAT.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.bat import BAT
+from repro.storage.types import MalType, cast_value, type_by_name
+
+
+class Column:
+    """A named, typed column of a table, stored as a void-headed BAT."""
+
+    def __init__(self, name: str, mal_type: MalType) -> None:
+        self.name = name
+        self.mal_type = mal_type
+        self.bat = BAT(mal_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Column({self.name}:{self.mal_type.name})"
+
+
+class Table:
+    """A relational table: an ordered set of equally long columns."""
+
+    def __init__(self, name: str, columns: Sequence[Tuple[str, MalType]]) -> None:
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns: Dict[str, Column] = {}
+        for col_name, mal_type in columns:
+            key = col_name.lower()
+            if key in self.columns:
+                raise CatalogError(f"duplicate column {col_name!r} in {name!r}")
+            self.columns[key] = Column(col_name, mal_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Table({self.name}, {len(self.columns)} cols, {self.row_count()} rows)"
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name."""
+        try:
+            return self.columns[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column_names(self) -> List[str]:
+        """Column names in definition order."""
+        return [c.name for c in self.columns.values()]
+
+    def row_count(self) -> int:
+        """Number of rows (0 for a fresh table)."""
+        first = next(iter(self.columns.values()))
+        return first.bat.count()
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append one row; values are cast to the column types."""
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row arity {len(row)} != table arity {len(self.columns)}"
+            )
+        for column, value in zip(self.columns.values(), row):
+            column.bat.append(value)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows; returns the number inserted."""
+        n = 0
+        for row in rows:
+            self.insert(row)
+            n += 1
+        return n
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate rows as tuples, in oid order."""
+        bats = [c.bat for c in self.columns.values()]
+        return zip(*(b.tail for b in bats)) if bats else iter(())
+
+
+class Schema:
+    """A namespace of tables."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str,
+                     columns: Sequence[Tuple[str, MalType]]) -> Table:
+        """Create a table; errors on duplicates."""
+        key = name.lower()
+        if key in self.tables:
+            raise CatalogError(f"table {name!r} already exists in {self.name!r}")
+        table = Table(name, columns)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; errors if absent."""
+        try:
+            del self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} in {self.name!r}") from None
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r} in schema {self.name!r}") from None
+
+
+class Catalog:
+    """Top-level catalog; created with a default ``sys`` schema."""
+
+    DEFAULT_SCHEMA = "sys"
+
+    def __init__(self) -> None:
+        self.schemas: Dict[str, Schema] = {}
+        self.create_schema(self.DEFAULT_SCHEMA)
+
+    def create_schema(self, name: str) -> Schema:
+        """Create a schema; errors on duplicates."""
+        key = name.lower()
+        if key in self.schemas:
+            raise CatalogError(f"schema {name!r} already exists")
+        schema = Schema(name)
+        self.schemas[key] = schema
+        return schema
+
+    def schema(self, name: Optional[str] = None) -> Schema:
+        """Look up a schema (default schema when name is None)."""
+        key = (name or self.DEFAULT_SCHEMA).lower()
+        try:
+            return self.schemas[key]
+        except KeyError:
+            raise CatalogError(f"no schema {name!r}") from None
+
+    def table(self, name: str, schema: Optional[str] = None) -> Table:
+        """Convenience: look up ``schema.table``."""
+        return self.schema(schema).table(name)
+
+    def bind(self, schema: str, table: str, column: str) -> BAT:
+        """MAL ``sql.bind``: the BAT backing one column."""
+        return self.schema(schema).table(table).column(column).bat
+
+    def create_table_from_sql_types(
+        self, name: str, columns: Sequence[Tuple[str, str]],
+        schema: Optional[str] = None,
+    ) -> Table:
+        """Create a table from (name, type-name) pairs, mapping common SQL
+        type names onto MAL atoms (``integer``→int, ``varchar``→str, ...)."""
+        resolved = [
+            (col_name, _sql_type_to_mal(type_name)) for col_name, type_name in columns
+        ]
+        return self.schema(schema).create_table(name, resolved)
+
+
+_SQL_TYPE_MAP = {
+    "int": "int",
+    "integer": "int",
+    "smallint": "int",
+    "tinyint": "int",
+    "bigint": "lng",
+    "decimal": "dbl",
+    "numeric": "dbl",
+    "real": "dbl",
+    "float": "dbl",
+    "double": "dbl",
+    "varchar": "str",
+    "char": "str",
+    "text": "str",
+    "string": "str",
+    "clob": "str",
+    "boolean": "bit",
+    "bool": "bit",
+    "date": "date",
+    "oid": "oid",
+}
+
+
+def _sql_type_to_mal(type_name: str) -> MalType:
+    base = type_name.strip().lower().split("(", 1)[0].strip()
+    try:
+        return type_by_name(_SQL_TYPE_MAP.get(base, base))
+    except Exception:
+        raise CatalogError(f"unsupported SQL type {type_name!r}") from None

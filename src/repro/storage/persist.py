@@ -1,0 +1,100 @@
+"""Catalog persistence: save/load a whole database as one JSON file.
+
+MonetDB persists BATs in its ``dbfarm``; at this reproduction's scale a
+single self-describing JSON document is the honest equivalent — it keeps
+examples and benchmark setups reloadable without re-running the data
+generator.  Dates are tagged strings (``@date:YYYY-MM-DD``); nil is JSON
+``null``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.catalog import Catalog
+from repro.storage.types import type_by_name
+
+_FORMAT_VERSION = 1
+_DATE_TAG = "@date:"
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return _DATE_TAG + value.isoformat()
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, str) and value.startswith(_DATE_TAG):
+        return datetime.date.fromisoformat(value[len(_DATE_TAG):])
+    return value
+
+
+def save_catalog(catalog: Catalog, path: str) -> int:
+    """Write every schema/table/column to ``path``; returns total rows."""
+    document = {"version": _FORMAT_VERSION, "schemas": []}
+    total_rows = 0
+    for schema in catalog.schemas.values():
+        schema_doc = {"name": schema.name, "tables": []}
+        for table in schema.tables.values():
+            columns = []
+            for column in table.columns.values():
+                columns.append({
+                    "name": column.name,
+                    "type": column.mal_type.name,
+                    "values": [_encode(v) for v in column.bat.tail],
+                })
+            schema_doc["tables"].append(
+                {"name": table.name, "columns": columns}
+            )
+            total_rows += table.row_count()
+        document["schemas"].append(schema_doc)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return total_rows
+
+
+def load_catalog(path: str) -> Catalog:
+    """Rebuild a catalog saved by :func:`save_catalog`.
+
+    Raises:
+        StorageError: on version mismatch or structural problems.
+    """
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt catalog file: {exc}") from None
+    if document.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported catalog format version {document.get('version')!r}"
+        )
+    catalog = Catalog()
+    for schema_doc in document.get("schemas", []):
+        name = schema_doc["name"]
+        if name.lower() in catalog.schemas:
+            schema = catalog.schema(name)
+        else:
+            schema = catalog.create_schema(name)
+        for table_doc in schema_doc.get("tables", []):
+            column_docs = table_doc["columns"]
+            if not column_docs:
+                raise StorageError(
+                    f"table {table_doc['name']!r} has no columns"
+                )
+            spec = [
+                (c["name"], type_by_name(c["type"])) for c in column_docs
+            ]
+            table = schema.create_table(table_doc["name"], spec)
+            lengths = {len(c["values"]) for c in column_docs}
+            if len(lengths) > 1:
+                raise StorageError(
+                    f"table {table_doc['name']!r} has ragged columns"
+                )
+            for column_doc, column in zip(column_docs,
+                                          table.columns.values()):
+                column.bat.extend(_decode(v) for v in column_doc["values"])
+    return catalog

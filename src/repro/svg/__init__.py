@@ -1,0 +1,23 @@
+"""SVG intermediate representation.
+
+The paper's workflow (§4): "As a first step the dot file gets parsed and
+an intermediate scalar vector graphics (svg) representation gets created.
+In the next step, the svg file gets parsed and an in memory graph
+structure gets created."  This package provides both directions: a writer
+from a :class:`~repro.layout.geometry.Layout` to SVG text, and a parser
+that reads that SVG back into scene/graph structures.
+"""
+
+from repro.svg.model import SvgEdge, SvgNode, SvgScene
+from repro.svg.parser import parse_svg, svg_to_graph
+from repro.svg.writer import layout_to_svg, scene_to_svg
+
+__all__ = [
+    "SvgEdge",
+    "SvgNode",
+    "SvgScene",
+    "layout_to_svg",
+    "parse_svg",
+    "scene_to_svg",
+    "svg_to_graph",
+]

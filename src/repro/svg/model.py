@@ -1,0 +1,57 @@
+"""SVG scene model: the typed content of a generated plan drawing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SvgNode:
+    """One graph node in the drawing: a labelled box."""
+
+    node_id: str
+    x: float  # centre
+    y: float  # centre
+    width: float
+    height: float
+    label: str = ""
+    fill: str = "white"
+    stroke: str = "black"
+
+    @property
+    def left(self) -> float:
+        return self.x - self.width / 2
+
+    @property
+    def top(self) -> float:
+        return self.y - self.height / 2
+
+
+@dataclass
+class SvgEdge:
+    """One graph edge: a polyline between node boxes."""
+
+    src: str
+    dst: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+    stroke: str = "black"
+
+
+@dataclass
+class SvgScene:
+    """A parsed or generated plan drawing."""
+
+    width: float = 0.0
+    height: float = 0.0
+    nodes: Dict[str, SvgNode] = field(default_factory=dict)
+    edges: List[SvgEdge] = field(default_factory=list)
+
+    def add_node(self, node: SvgNode) -> None:
+        self.nodes[node.node_id] = node
+
+    def add_edge(self, edge: SvgEdge) -> None:
+        self.edges.append(edge)
+
+    def node(self, node_id: str) -> SvgNode:
+        return self.nodes[node_id]

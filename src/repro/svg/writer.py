@@ -1,0 +1,82 @@
+"""Layout/scene → SVG text.
+
+Every node renders as a ``<g class="node" id="...">`` holding a ``rect``
+and a ``text``; every edge as a ``<polyline class="edge">`` carrying
+``data-src``/``data-dst`` attributes, so the parser (and a browser's DOM)
+can rebuild the graph structure from the drawing alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.layout.geometry import Layout
+from repro.svg.model import SvgEdge, SvgNode, SvgScene
+
+
+def layout_to_svg(layout: Layout,
+                  fills: Optional[Dict[str, str]] = None,
+                  margin: float = 10.0) -> str:
+    """Render a layout as SVG; ``fills`` overrides per-node fill colours
+    (the colour-coded execution states)."""
+    scene = layout_to_scene(layout, fills)
+    return scene_to_svg(scene, margin)
+
+
+def layout_to_scene(layout: Layout,
+                    fills: Optional[Dict[str, str]] = None) -> SvgScene:
+    """Convert a layout to the typed scene model."""
+    fills = fills or {}
+    scene = SvgScene(width=layout.width, height=layout.height)
+    for node in layout.nodes.values():
+        scene.add_node(SvgNode(
+            node_id=node.node_id, x=node.x, y=node.y,
+            width=node.width, height=node.height, label=node.label,
+            fill=fills.get(node.node_id, "white"),
+        ))
+    for edge in layout.edges:
+        scene.add_edge(SvgEdge(
+            src=edge.src, dst=edge.dst,
+            points=[(p.x, p.y) for p in edge.points],
+        ))
+    return scene
+
+
+def scene_to_svg(scene: SvgScene, margin: float = 10.0) -> str:
+    """Serialise a scene as standalone SVG text."""
+    width = scene.width + 2 * margin
+    height = scene.height + 2 * margin
+    parts = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.1f}" height="{height:.1f}" '
+        f'viewBox="0 0 {width:.1f} {height:.1f}">',
+    ]
+    for edge in scene.edges:
+        points = " ".join(
+            f"{x + margin:.1f},{y + margin:.1f}" for x, y in edge.points
+        )
+        parts.append(
+            f'  <polyline class="edge" data-src={quoteattr(edge.src)} '
+            f'data-dst={quoteattr(edge.dst)} points="{points}" '
+            f'fill="none" stroke="{edge.stroke}"/>'
+        )
+    for node in scene.nodes.values():
+        left = node.left + margin
+        top = node.top + margin
+        parts.append(f'  <g class="node" id={quoteattr(node.node_id)}>')
+        parts.append(
+            f'    <rect x="{left:.1f}" y="{top:.1f}" '
+            f'width="{node.width:.1f}" height="{node.height:.1f}" '
+            f'fill="{node.fill}" stroke="{node.stroke}"/>'
+        )
+        parts.append(
+            f'    <text x="{node.x + margin:.1f}" y="{node.y + margin:.1f}" '
+            f'text-anchor="middle" dominant-baseline="middle" '
+            f'font-family="monospace" font-size="11">'
+            f"{escape(node.label)}</text>"
+        )
+        parts.append("  </g>")
+    parts.append("</svg>")
+    return "\n".join(parts)

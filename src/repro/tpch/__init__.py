@@ -1,0 +1,18 @@
+"""TPC-H substrate: schema, deterministic data generator and query set.
+
+The paper demonstrates Stethoscope on "long running TPC-H queries".  This
+package provides a scaled-down, fully deterministic stand-in for the TPC-H
+``dbgen`` tool plus a set of TPC-H-derived queries expressed in the SQL
+dialect of :mod:`repro.sqlfe`.
+
+Scale: ``scale_factor=1.0`` produces 6 000 lineitem rows (1/1000 of real
+TPC-H) so that examples and benchmarks run in seconds while keeping the
+real schema, key relationships and value distributions that give plans
+their characteristic shapes.
+"""
+
+from repro.tpch.datagen import populate
+from repro.tpch.queries import QUERIES, query_sql
+from repro.tpch.schema import create_tpch_schema
+
+__all__ = ["QUERIES", "create_tpch_schema", "populate", "query_sql"]

@@ -1,0 +1,218 @@
+"""TPC-H derived queries in the supported SQL dialect.
+
+The official TPC-H text is adapted where our dialect lacks a feature
+(no subqueries, no string concatenation); every adaptation keeps the
+plan-shape essentials — join graph, predicate structure, aggregation —
+that the Stethoscope demonstrations rely on.  ``demo`` is the paper's own
+Figure 1 query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ReproError
+
+QUERIES: Dict[str, str] = {
+    # The exact query from the paper (Section 2).
+    "demo": "select l_tax from lineitem where l_partkey = 1",
+
+    # Q1: pricing summary report.
+    "q1": """
+        select
+            l_returnflag,
+            l_linestatus,
+            sum(l_quantity) as sum_qty,
+            sum(l_extendedprice) as sum_base_price,
+            sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+            sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+            avg(l_quantity) as avg_qty,
+            avg(l_extendedprice) as avg_price,
+            avg(l_discount) as avg_disc,
+            count(*) as count_order
+        from lineitem
+        where l_shipdate <= date '1998-12-01' - interval '90' day
+        group by l_returnflag, l_linestatus
+        order by l_returnflag, l_linestatus
+    """,
+
+    # Q3: shipping priority.
+    "q3": """
+        select
+            l_orderkey,
+            sum(l_extendedprice * (1 - l_discount)) as revenue,
+            o_orderdate,
+            o_shippriority
+        from customer, orders, lineitem
+        where c_mktsegment = 'BUILDING'
+          and c_custkey = o_custkey
+          and l_orderkey = o_orderkey
+          and o_orderdate < date '1995-03-15'
+          and l_shipdate > date '1995-03-15'
+        group by l_orderkey, o_orderdate, o_shippriority
+        order by revenue desc, o_orderdate
+        limit 10
+    """,
+
+    # Q4: order priority checking.  The official EXISTS correlation on
+    # l_orderkey = o_orderkey is semantically an uncorrelated IN here.
+    "q4": """
+        select
+            o_orderpriority,
+            count(*) as order_count
+        from orders
+        where o_orderdate >= date '1993-07-01'
+          and o_orderdate < date '1993-07-01' + interval '3' month
+          and o_orderkey in (
+                select l_orderkey
+                from lineitem
+                where l_commitdate < l_receiptdate
+              )
+        group by o_orderpriority
+        order by o_orderpriority
+    """,
+
+    # Q5: local supplier volume.
+    "q5": """
+        select
+            n_name,
+            sum(l_extendedprice * (1 - l_discount)) as revenue
+        from customer, orders, lineitem, supplier, nation, region
+        where c_custkey = o_custkey
+          and l_orderkey = o_orderkey
+          and l_suppkey = s_suppkey
+          and c_nationkey = s_nationkey
+          and s_nationkey = n_nationkey
+          and n_regionkey = r_regionkey
+          and r_name = 'ASIA'
+          and o_orderdate >= date '1994-01-01'
+          and o_orderdate < date '1994-01-01' + interval '1' year
+        group by n_name
+        order by revenue desc
+    """,
+
+    # Q6: forecasting revenue change.
+    "q6": """
+        select sum(l_extendedprice * l_discount) as revenue
+        from lineitem
+        where l_shipdate >= date '1994-01-01'
+          and l_shipdate < date '1994-01-01' + interval '1' year
+          and l_discount between 0.05 and 0.07
+          and l_quantity < 24
+    """,
+
+    # Q10: returned item reporting (top 20 customers).
+    "q10": """
+        select
+            c_custkey,
+            c_name,
+            sum(l_extendedprice * (1 - l_discount)) as revenue,
+            c_acctbal,
+            n_name,
+            c_phone
+        from customer, orders, lineitem, nation
+        where c_custkey = o_custkey
+          and l_orderkey = o_orderkey
+          and o_orderdate >= date '1993-10-01'
+          and o_orderdate < date '1993-10-01' + interval '3' month
+          and l_returnflag = 'R'
+          and c_nationkey = n_nationkey
+        group by c_custkey, c_name, c_acctbal, c_phone, n_name
+        order by revenue desc
+        limit 20
+    """,
+
+    # Q12: shipping modes and order priority.
+    "q12": """
+        select
+            l_shipmode,
+            sum(case when o_orderpriority = '1-URGENT'
+                       or o_orderpriority = '2-HIGH'
+                     then 1 else 0 end) as high_line_count,
+            sum(case when o_orderpriority <> '1-URGENT'
+                      and o_orderpriority <> '2-HIGH'
+                     then 1 else 0 end) as low_line_count
+        from orders, lineitem
+        where o_orderkey = l_orderkey
+          and l_shipmode in ('MAIL', 'SHIP')
+          and l_commitdate < l_receiptdate
+          and l_shipdate < l_commitdate
+          and l_receiptdate >= date '1994-01-01'
+          and l_receiptdate < date '1994-01-01' + interval '1' year
+        group by l_shipmode
+        order by l_shipmode
+    """,
+
+    # Q14: promotion effect (percentage of promo revenue).
+    "q14": """
+        select
+            100.00 * sum(case when p_type like 'PROMO%'
+                              then l_extendedprice * (1 - l_discount)
+                              else 0 end)
+                   / sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+        from lineitem, part
+        where l_partkey = p_partkey
+          and l_shipdate >= date '1995-09-01'
+          and l_shipdate < date '1995-09-01' + interval '1' month
+    """,
+
+    # Q18: large volume customers (uncorrelated IN subquery with
+    # GROUP BY + HAVING).  The quantity threshold is scaled from the
+    # official 300 down to 150 for the 1/1000-size data.
+    "q18": """
+        select
+            c_name,
+            c_custkey,
+            o_orderkey,
+            o_orderdate,
+            o_totalprice,
+            sum(l_quantity) as total_qty
+        from customer, orders, lineitem
+        where o_orderkey in (
+                select l_orderkey
+                from lineitem
+                group by l_orderkey
+                having sum(l_quantity) > 150
+              )
+          and c_custkey = o_custkey
+          and o_orderkey = l_orderkey
+        group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+        order by o_totalprice desc, o_orderdate
+        limit 100
+    """,
+
+    # Q17-inspired (uncorrelated scalar-subquery variant): lineitems
+    # under a fraction of the global average quantity.  The official Q17
+    # correlates per part; correlation is out of dialect scope, so the
+    # global-average variant keeps the scalar-subquery plan shape.
+    "q17": """
+        select sum(l_extendedprice) / 7.0 as avg_yearly
+        from lineitem
+        where l_quantity < 0.5 * (select avg(l_quantity) from lineitem)
+    """,
+
+    # Q19 (lite): discounted revenue from quantity/brand bands.
+    "q19": """
+        select sum(l_extendedprice * (1 - l_discount)) as revenue
+        from lineitem, part
+        where l_partkey = p_partkey
+          and l_quantity >= 1 and l_quantity <= 30
+          and p_size between 1 and 15
+          and l_shipmode in ('AIR', 'REG AIR')
+          and l_shipinstruct = 'DELIVER IN PERSON'
+    """,
+}
+
+
+def query_sql(name: str) -> str:
+    """Look up a TPC-H query's SQL text by short name (``q1``, ``demo``...).
+
+    Raises:
+        ReproError: for unknown query names.
+    """
+    try:
+        return QUERIES[name].strip()
+    except KeyError:
+        raise ReproError(
+            f"unknown TPC-H query {name!r}; have {sorted(QUERIES)}"
+        ) from None

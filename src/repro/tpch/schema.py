@@ -1,0 +1,92 @@
+"""The TPC-H schema (all eight tables), mapped onto MAL atom types."""
+
+from __future__ import annotations
+
+from repro.storage.catalog import Catalog
+
+#: (table, [(column, sql type)]) in TPC-H order.
+TPCH_TABLES = [
+    ("region", [
+        ("r_regionkey", "integer"),
+        ("r_name", "varchar(25)"),
+        ("r_comment", "varchar(152)"),
+    ]),
+    ("nation", [
+        ("n_nationkey", "integer"),
+        ("n_name", "varchar(25)"),
+        ("n_regionkey", "integer"),
+        ("n_comment", "varchar(152)"),
+    ]),
+    ("supplier", [
+        ("s_suppkey", "integer"),
+        ("s_name", "varchar(25)"),
+        ("s_address", "varchar(40)"),
+        ("s_nationkey", "integer"),
+        ("s_phone", "varchar(15)"),
+        ("s_acctbal", "decimal(15,2)"),
+        ("s_comment", "varchar(101)"),
+    ]),
+    ("customer", [
+        ("c_custkey", "integer"),
+        ("c_name", "varchar(25)"),
+        ("c_address", "varchar(40)"),
+        ("c_nationkey", "integer"),
+        ("c_phone", "varchar(15)"),
+        ("c_acctbal", "decimal(15,2)"),
+        ("c_mktsegment", "varchar(10)"),
+        ("c_comment", "varchar(117)"),
+    ]),
+    ("part", [
+        ("p_partkey", "integer"),
+        ("p_name", "varchar(55)"),
+        ("p_mfgr", "varchar(25)"),
+        ("p_brand", "varchar(10)"),
+        ("p_type", "varchar(25)"),
+        ("p_size", "integer"),
+        ("p_container", "varchar(10)"),
+        ("p_retailprice", "decimal(15,2)"),
+        ("p_comment", "varchar(23)"),
+    ]),
+    ("partsupp", [
+        ("ps_partkey", "integer"),
+        ("ps_suppkey", "integer"),
+        ("ps_availqty", "integer"),
+        ("ps_supplycost", "decimal(15,2)"),
+        ("ps_comment", "varchar(199)"),
+    ]),
+    ("orders", [
+        ("o_orderkey", "integer"),
+        ("o_custkey", "integer"),
+        ("o_orderstatus", "varchar(1)"),
+        ("o_totalprice", "decimal(15,2)"),
+        ("o_orderdate", "date"),
+        ("o_orderpriority", "varchar(15)"),
+        ("o_clerk", "varchar(15)"),
+        ("o_shippriority", "integer"),
+        ("o_comment", "varchar(79)"),
+    ]),
+    ("lineitem", [
+        ("l_orderkey", "integer"),
+        ("l_partkey", "integer"),
+        ("l_suppkey", "integer"),
+        ("l_linenumber", "integer"),
+        ("l_quantity", "decimal(15,2)"),
+        ("l_extendedprice", "decimal(15,2)"),
+        ("l_discount", "decimal(15,2)"),
+        ("l_tax", "decimal(15,2)"),
+        ("l_returnflag", "varchar(1)"),
+        ("l_linestatus", "varchar(1)"),
+        ("l_shipdate", "date"),
+        ("l_commitdate", "date"),
+        ("l_receiptdate", "date"),
+        ("l_shipinstruct", "varchar(25)"),
+        ("l_shipmode", "varchar(10)"),
+        ("l_comment", "varchar(44)"),
+    ]),
+]
+
+
+def create_tpch_schema(catalog: Catalog, schema: str = "sys") -> None:
+    """Create all eight TPC-H tables in ``schema`` (default ``sys``)."""
+    for table, columns in TPCH_TABLES:
+        catalog.create_table_from_sql_types(table, columns, schema=schema)

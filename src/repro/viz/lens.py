@@ -1,0 +1,105 @@
+"""Lenses: local magnification for visual interaction (paper §3.1).
+
+"ZGrviewer comes with a plethora of features such as set of lenses viz.
+fish eye lens, etc. for visual interaction with graph nodes."  The
+fisheye here uses the classic Sarkar–Brown distortion: points near the
+focus spread apart, points past the radius stay put.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import VizError
+
+
+class FisheyeLens:
+    """A circular fisheye over virtual-space coordinates.
+
+    Args:
+        cx, cy: focus centre.
+        radius: influence radius; beyond it the lens is identity.
+        magnification: peak magnification at the focus (> 1).
+    """
+
+    def __init__(self, cx: float = 0.0, cy: float = 0.0,
+                 radius: float = 100.0, magnification: float = 3.0) -> None:
+        if radius <= 0:
+            raise VizError("lens radius must be positive")
+        if magnification < 1.0:
+            raise VizError("magnification must be >= 1")
+        self.cx = cx
+        self.cy = cy
+        self.radius = radius
+        self.magnification = magnification
+
+    def move_to(self, cx: float, cy: float) -> None:
+        """Re-focus the lens (mouse tracking)."""
+        self.cx = cx
+        self.cy = cy
+
+    def transform(self, x: float, y: float) -> Tuple[float, float]:
+        """Distort one point; identity outside the lens radius."""
+        dx = x - self.cx
+        dy = y - self.cy
+        distance = math.hypot(dx, dy)
+        if distance >= self.radius or distance == 0.0:
+            return (x, y)
+        normalized = distance / self.radius
+        d = self.magnification
+        # Sarkar-Brown: g(r) = (d+1) r / (d r + 1), g(0)=0, g(1)=1
+        warped = (d + 1) * normalized / (d * normalized + 1)
+        factor = warped * self.radius / distance
+        return (self.cx + dx * factor, self.cy + dy * factor)
+
+    def magnification_at(self, x: float, y: float) -> float:
+        """Local scale factor at a point (1.0 outside the lens)."""
+        dx = x - self.cx
+        dy = y - self.cy
+        distance = math.hypot(dx, dy)
+        if distance >= self.radius:
+            return 1.0
+        normalized = distance / self.radius
+        d = self.magnification
+        # derivative of g at r: (d+1) / (d r + 1)^2
+        return (d + 1) / ((d * normalized + 1) ** 2)
+
+
+class MagnifierLens:
+    """A flat magnifying glass: uniform magnification inside the radius,
+    identity outside (a hard-edged lens, unlike the fisheye's smooth
+    distortion).  Points between ``radius/magnification`` and ``radius``
+    are pushed outside the lens — the magnified disc *replaces* that
+    annulus, which is how ZVTM's flat lenses behave."""
+
+    def __init__(self, cx: float = 0.0, cy: float = 0.0,
+                 radius: float = 100.0, magnification: float = 2.0) -> None:
+        if radius <= 0:
+            raise VizError("lens radius must be positive")
+        if magnification < 1.0:
+            raise VizError("magnification must be >= 1")
+        self.cx = cx
+        self.cy = cy
+        self.radius = radius
+        self.magnification = magnification
+
+    def move_to(self, cx: float, cy: float) -> None:
+        """Re-focus the lens (mouse tracking)."""
+        self.cx = cx
+        self.cy = cy
+
+    def transform(self, x: float, y: float) -> Tuple[float, float]:
+        """Magnify points near the focus uniformly; identity outside."""
+        dx = x - self.cx
+        dy = y - self.cy
+        distance = math.hypot(dx, dy)
+        if distance >= self.radius:
+            return (x, y)
+        m = self.magnification
+        return (self.cx + dx * m, self.cy + dy * m)
+
+    def magnification_at(self, x: float, y: float) -> float:
+        """Uniform ``magnification`` inside, 1.0 outside."""
+        distance = math.hypot(x - self.cx, y - self.cy)
+        return self.magnification if distance < self.radius else 1.0

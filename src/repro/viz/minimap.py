@@ -1,0 +1,80 @@
+"""Minimap: the overview+detail companion to the bird's-eye view.
+
+ZGrviewer shows an overview window with a rectangle marking the main
+camera's viewport.  The :class:`Minimap` reproduces that: a fixed small
+canvas showing the whole virtual space, node dots coloured by execution
+state, and the current viewport rectangle of an attached view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.viz.glyph import RectangleGlyph
+from repro.viz.view import View
+from repro.viz.vspace import VirtualSpace
+
+
+class Minimap:
+    """A small overview of a virtual space plus a viewport marker."""
+
+    def __init__(self, space: VirtualSpace, width: int = 48,
+                 height: int = 16) -> None:
+        self.space = space
+        self.width = width
+        self.height = height
+
+    # ------------------------------------------------------------------
+
+    def _world_to_cell(self, wx: float, wy: float,
+                       bounds) -> Tuple[int, int]:
+        left, top, right, bottom = bounds
+        span_x = max(right - left, 1e-9)
+        span_y = max(bottom - top, 1e-9)
+        col = int((wx - left) / span_x * (self.width - 1))
+        row = int((wy - top) / span_y * (self.height - 1))
+        return (max(0, min(self.width - 1, col)),
+                max(0, min(self.height - 1, row)))
+
+    def viewport_rectangle(self, view: View):
+        """The view's world-space viewport as minimap cell bounds."""
+        bounds = self.space.bounds()
+        wl, wt = view.camera.screen_to_world(0, 0, view.width, view.height)
+        wr, wb = view.camera.screen_to_world(view.width, view.height,
+                                             view.width, view.height)
+        c0, r0 = self._world_to_cell(wl, wt, bounds)
+        c1, r1 = self._world_to_cell(wr, wb, bounds)
+        return (min(c0, c1), min(r0, r1), max(c0, c1), max(r0, r1))
+
+    def render(self, view: Optional[View] = None) -> str:
+        """The minimap as text: ``.`` plain nodes, ``r``/``g`` coloured
+        states, box-drawing for the viewport rectangle."""
+        grid: List[List[str]] = [
+            [" "] * self.width for _ in range(self.height)
+        ]
+        bounds = self.space.bounds()
+        for glyph in self.space:
+            if not isinstance(glyph, RectangleGlyph) or not glyph.visible:
+                continue
+            col, row = self._world_to_cell(glyph.x, glyph.y, bounds)
+            fill = glyph.fill
+            if fill.r > 170 and fill.g < 120:
+                char = "r"
+            elif fill.g > 140 and fill.r < 120:
+                char = "g"
+            else:
+                char = "."
+            grid[row][col] = char
+        if view is not None:
+            c0, r0, c1, r1 = self.viewport_rectangle(view)
+            for col in range(c0, c1 + 1):
+                for row in (r0, r1):
+                    if grid[row][col] == " ":
+                        grid[row][col] = "-"
+            for row in range(r0, r1 + 1):
+                for col in (c0, c1):
+                    if grid[row][col] == " ":
+                        grid[row][col] = "|"
+            for col, row in ((c0, r0), (c1, r0), (c0, r1), (c1, r1)):
+                grid[row][col] = "+"
+        return "\n".join("".join(row).rstrip() for row in grid)

@@ -1,0 +1,75 @@
+"""Views: a camera looking at a virtual space through a viewport."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.viz.camera import Camera
+from repro.viz.glyph import Glyph, RectangleGlyph
+from repro.viz.lens import FisheyeLens
+from repro.viz.render import AsciiRenderer, SvgRenderer
+from repro.viz.vspace import VirtualSpace
+
+
+class View:
+    """Couples a virtual space, a camera and a viewport size; offers the
+    interaction primitives (pick, navigate, zoom, render) the Stethoscope
+    drives via keyboard/mouse events."""
+
+    def __init__(self, space: VirtualSpace, camera: Optional[Camera] = None,
+                 width: int = 800, height: int = 600) -> None:
+        self.space = space
+        self.camera = camera or Camera()
+        self.width = width
+        self.height = height
+        self.lens: Optional[FisheyeLens] = None
+
+    # ------------------------------------------------------------------
+
+    def fit_all(self) -> None:
+        """Bird's-eye view: frame the whole space."""
+        self.camera.fit(self.space.bounds(), self.width, self.height)
+
+    def focus_node(self, node_id: str, altitude: float = 20.0) -> None:
+        """Centre the camera on one node at a close zoom level."""
+        shape = self.space.shape_of(node_id)
+        self.camera.look_at(shape.x, shape.y)
+        self.camera.altitude = altitude
+
+    def pick(self, screen_x: float, screen_y: float) -> Optional[RectangleGlyph]:
+        """Hit-test a screen coordinate (a mouse click) to a node shape."""
+        wx, wy = self.camera.screen_to_world(screen_x, screen_y,
+                                             self.width, self.height)
+        return self.space.shape_at(wx, wy)
+
+    def visible_glyphs(self) -> List[Glyph]:
+        """Glyphs whose bounds intersect the current viewport."""
+        view_left, view_top = self.camera.screen_to_world(
+            0, 0, self.width, self.height
+        )
+        view_right, view_bottom = self.camera.screen_to_world(
+            self.width, self.height, self.width, self.height
+        )
+        out: List[Glyph] = []
+        for glyph in self.space:
+            if not glyph.visible:
+                continue
+            left, top, right, bottom = glyph.bounds()
+            if (right >= view_left and left <= view_right
+                    and bottom >= view_top and top <= view_bottom):
+                out.append(glyph)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def render_ascii(self, columns: int = 100, rows: int = 32) -> str:
+        """Render the current view as text (what the camera sees,
+        scaled onto a character grid)."""
+        return AsciiRenderer(columns, rows).render(
+            self.space, self.camera, self.lens,
+            viewport_w=float(self.width), viewport_h=float(self.height),
+        )
+
+    def render_svg(self) -> str:
+        """Render the full space (current colours) as SVG."""
+        return SvgRenderer().render(self.space)

@@ -1,0 +1,115 @@
+"""The virtual space: the canvas on which graphs are drawn (paper §3.1).
+
+"Other important objects are a virtual space, which represents a canvas
+on which graphs are drawn and a camera object, which shows different
+views at different zoom levels, in a virtual space."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import VizError
+from repro.layout.geometry import Layout
+from repro.viz.glyph import EdgeGlyph, Glyph, RectangleGlyph, TextGlyph
+
+
+class VirtualSpace:
+    """An ordered collection of glyphs with id-based access."""
+
+    def __init__(self, name: str = "plan") -> None:
+        self.name = name
+        self._glyphs: Dict[str, Glyph] = {}
+
+    def add(self, glyph: Glyph) -> Glyph:
+        """Add a glyph; ids must be unique."""
+        if glyph.glyph_id in self._glyphs:
+            raise VizError(f"duplicate glyph id {glyph.glyph_id!r}")
+        self._glyphs[glyph.glyph_id] = glyph
+        return glyph
+
+    def remove(self, glyph_id: str) -> None:
+        """Remove a glyph; raises when absent."""
+        if glyph_id not in self._glyphs:
+            raise VizError(f"no glyph {glyph_id!r}")
+        del self._glyphs[glyph_id]
+
+    def glyph(self, glyph_id: str) -> Glyph:
+        try:
+            return self._glyphs[glyph_id]
+        except KeyError:
+            raise VizError(f"no glyph {glyph_id!r}") from None
+
+    def __iter__(self) -> Iterator[Glyph]:
+        return iter(self._glyphs.values())
+
+    def __len__(self) -> int:
+        return len(self._glyphs)
+
+    def __contains__(self, glyph_id: str) -> bool:
+        return glyph_id in self._glyphs
+
+    # ------------------------------------------------------------------
+    # node-oriented accessors used by the Stethoscope
+    # ------------------------------------------------------------------
+
+    def shape_of(self, node_id: str) -> RectangleGlyph:
+        """The shape glyph of a graph node."""
+        glyph = self.glyph(f"shape:{node_id}")
+        assert isinstance(glyph, RectangleGlyph)
+        return glyph
+
+    def text_of(self, node_id: str) -> TextGlyph:
+        """The text glyph of a graph node."""
+        glyph = self.glyph(f"text:{node_id}")
+        assert isinstance(glyph, TextGlyph)
+        return glyph
+
+    def node_ids(self) -> List[str]:
+        """Graph node ids present in the space (via their shape glyphs)."""
+        return [
+            g.owner for g in self._glyphs.values()
+            if isinstance(g, RectangleGlyph) and g.owner
+        ]
+
+    def shape_at(self, x: float, y: float) -> Optional[RectangleGlyph]:
+        """Topmost shape glyph containing the virtual-space point."""
+        for glyph in self._glyphs.values():
+            if isinstance(glyph, RectangleGlyph) and glyph.contains(x, y):
+                return glyph
+        return None
+
+    def bounds(self):
+        """Bounding box of all glyphs (left, top, right, bottom)."""
+        boxes = [g.bounds() for g in self._glyphs.values() if g.visible]
+        if not boxes:
+            return (0.0, 0.0, 0.0, 0.0)
+        return (
+            min(b[0] for b in boxes), min(b[1] for b in boxes),
+            max(b[2] for b in boxes), max(b[3] for b in boxes),
+        )
+
+
+def build_virtual_space(layout: Layout, name: str = "plan") -> VirtualSpace:
+    """Build the glyph scene for a laid-out plan.
+
+    Exactly as the paper describes for ZGrviewer: one shape glyph and one
+    text glyph per node, one edge glyph per edge.
+    """
+    space = VirtualSpace(name)
+    for edge_index, edge in enumerate(layout.edges):
+        space.add(EdgeGlyph(
+            glyph_id=f"edge:{edge_index}",
+            points=[(p.x, p.y) for p in edge.points],
+            src=edge.src, dst=edge.dst,
+        ))
+    for node in layout.nodes.values():
+        space.add(RectangleGlyph(
+            glyph_id=f"shape:{node.node_id}", x=node.x, y=node.y,
+            width=node.width, height=node.height, owner=node.node_id,
+        ))
+        space.add(TextGlyph(
+            glyph_id=f"text:{node.node_id}", x=node.x, y=node.y,
+            text=node.label, owner=node.node_id,
+        ))
+    return space

@@ -1,0 +1,17 @@
+"""Synthetic workload generators for scaling experiments.
+
+Paper feature 5: "Support for large query plans with graph representation
+of more than 1000 nodes."  Real plans only get that large through mitosis
+over big tables; these generators produce arbitrarily large — but
+structurally realistic — plans and traces directly, so the scaling
+benchmarks (experiment F2) can sweep plan size independently of data
+size.
+"""
+
+from repro.workloads.generator import (
+    synthetic_plan,
+    synthetic_trace,
+    trace_for_program,
+)
+
+__all__ = ["synthetic_plan", "synthetic_trace", "trace_for_program"]

@@ -1,0 +1,126 @@
+"""Synthetic MAL plans and traces with realistic structure.
+
+A synthetic plan mimics a mitosis-partitioned scan-aggregate query: a
+configurable number of parallel bind→select→project chains (partition
+fan-out) folded back together — the exact shape that makes real plans
+exceed 1000 nodes (paper Figure 2).  Synthetic traces replay a plan on a
+simulated worker pool with a seeded cost distribution, including an
+adjustable fraction of long-running instructions for the colouring
+algorithms to find.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.mal.ast import Const, MalProgram, Var, bat_of, scalar_of
+from repro.mal.printer import format_instruction
+from repro.profiler.events import TraceEvent
+
+
+def synthetic_plan(chains: int = 8, chain_length: int = 4) -> MalProgram:
+    """A plan with ``chains`` parallel partition chains of
+    ``chain_length`` data operators each, plus fold and export glue.
+
+    Total size is ``2 + chains * (1 + chain_length) + (chains - 1) + 3``
+    instructions; e.g. ``chains=167, chain_length=4`` ≈ 1007 nodes.
+    """
+    program = MalProgram("user.synthetic")
+    mvc = program.call("sql", "mvc", [], scalar_of("oid"))
+    partials: List[Var] = []
+    for chain in range(chains):
+        bind = program.call(
+            "sql", "bind",
+            [mvc, Const("sys"), Const("fact"), Const("v"), Const(0),
+             Const(chain), Const(chains)],
+            bat_of("int"),
+        )
+        current = bind
+        for step in range(chain_length):
+            if step % 2 == 0:
+                current = program.call(
+                    "algebra", "thetaselect",
+                    [current, Const(step), Const(">")], bat_of("int"),
+                )
+            else:
+                current = program.call(
+                    "batcalc", "add", [current, Const(1)], bat_of("int"),
+                )
+        partials.append(
+            program.call("aggr", "sum", [current], scalar_of("lng"))
+        )
+    total = partials[0]
+    for partial in partials[1:]:
+        total = program.call("calc", "add", [total, partial],
+                             scalar_of("lng"))
+    rs = program.call("sql", "resultSet", [Const(1), Const(1)],
+                      scalar_of("oid"))
+    rs = program.call(
+        "sql", "rsColumn",
+        [rs, Const("sys.fact"), Const("total"), Const("lng"), total],
+        scalar_of("oid"),
+    )
+    program.add("sql", "exportResult", [rs])
+    program.renumber()
+    return program
+
+
+def trace_for_program(program: MalProgram, workers: int = 4,
+                      seed: int = 11, long_fraction: float = 0.05,
+                      long_usec: int = 50_000,
+                      base_usec: int = 40) -> List[TraceEvent]:
+    """A plausible trace for ``program`` without executing it.
+
+    Instructions are list-scheduled over ``workers`` on a virtual clock;
+    a seeded ``long_fraction`` of them receive ``long_usec`` durations —
+    the costly outliers the Stethoscope exists to find.
+    """
+    rng = random.Random(seed)
+    deps = program.dependencies()
+    pending = {pc: set(d) for pc, d in deps.items()}
+    ready = sorted(pc for pc, d in pending.items() if not d)
+    worker_free = [0] * workers
+    ready_time = {pc: 0 for pc in ready}
+    events: List[TraceEvent] = []
+    raw: List[tuple] = []
+    done: set = set()
+    while len(done) < len(program.instructions):
+        ready.sort(key=lambda pc: (ready_time.get(pc, 0), pc))
+        pc = ready.pop(0)
+        instr = program.instructions[pc]
+        widx = min(range(workers), key=lambda w: (worker_free[w], w))
+        start = max(worker_free[widx], ready_time.get(pc, 0))
+        if rng.random() < long_fraction:
+            cost = long_usec + rng.randrange(long_usec // 2)
+        else:
+            cost = base_usec + rng.randrange(base_usec)
+        end = start + cost
+        worker_free[widx] = end
+        stmt = format_instruction(instr, program)
+        raw.append((start, pc, "start", widx, 0, stmt))
+        raw.append((end, pc, "done", widx, cost, stmt))
+        done.add(pc)
+        for succ, wanted in pending.items():
+            if pc in wanted:
+                wanted.discard(pc)
+                ready_time[succ] = max(ready_time.get(succ, 0), end)
+                if not wanted and succ not in done and succ not in ready:
+                    ready.append(succ)
+    raw.sort(key=lambda r: (r[0], r[1], r[2] == "done"))
+    for sequence, (clock, pc, status, thread, usec, stmt) in enumerate(raw):
+        events.append(TraceEvent(
+            event=sequence, clock_usec=clock, status=status, pc=pc,
+            thread=thread, usec=usec, rss_bytes=1 << 20, stmt=stmt,
+        ))
+    return events
+
+
+def synthetic_trace(chains: int = 8, chain_length: int = 4,
+                    workers: int = 4, seed: int = 11,
+                    long_fraction: float = 0.05) -> List[TraceEvent]:
+    """Plan + trace in one call (see :func:`synthetic_plan`)."""
+    return trace_for_program(
+        synthetic_plan(chains, chain_length), workers=workers, seed=seed,
+        long_fraction=long_fraction,
+    )

@@ -1,0 +1,307 @@
+"""Unit tests for the BAT (Binary Association Table)."""
+
+import pytest
+
+from repro.errors import StorageError, TypeMismatchError
+from repro.storage import BAT, INT, LNG, OID, STR, DBL, nil
+
+
+def make_int_bat(values, hseqbase=0):
+    return BAT(INT, values, hseqbase=hseqbase)
+
+
+class TestBasics:
+    def test_void_head_by_default(self):
+        b = make_int_bat([10, 20, 30])
+        assert b.is_void_head
+        assert list(b.heads()) == [0, 1, 2]
+
+    def test_hseqbase_offsets_heads(self):
+        b = make_int_bat([10, 20], hseqbase=100)
+        assert list(b.heads()) == [100, 101]
+        assert b.head_at(1) == 101
+
+    def test_values_cast_on_construction(self):
+        b = BAT(INT, ["1", 2.0, 3])
+        assert b.tail == [1, 2, 3]
+
+    def test_head_tail_length_mismatch_raises(self):
+        with pytest.raises(StorageError):
+            BAT(INT, [1, 2], head=[0])
+
+    def test_append_and_count(self):
+        b = make_int_bat([])
+        b.append(5)
+        b.extend([6, 7])
+        assert b.count() == 3 and len(b) == 3
+
+    def test_append_materialised_head_stays_dense(self):
+        b = BAT(INT, [1, 2], head=[4, 9])
+        b.append(3)
+        assert b.head == [4, 9, 10]
+
+    def test_items_pairs(self):
+        b = make_int_bat([7, 8])
+        assert list(b.items()) == [(0, 7), (1, 8)]
+
+    def test_copy_is_independent(self):
+        b = make_int_bat([1])
+        c = b.copy()
+        c.append(2)
+        assert b.count() == 1 and c.count() == 2
+
+    def test_bytes_accounts_for_strings(self):
+        small = BAT(STR, ["a"])
+        big = BAT(STR, ["a" * 100])
+        assert big.bytes() > small.bytes()
+
+    def test_bytes_void_head_free(self):
+        void = make_int_bat([1, 2, 3])
+        mat = BAT(INT, [1, 2, 3], head=[0, 1, 2])
+        assert mat.bytes() > void.bytes()
+
+
+class TestSelect:
+    def test_point_select(self):
+        b = make_int_bat([5, 7, 5, 9])
+        out = b.select(5)
+        assert list(out.items()) == [(0, 5), (2, 5)]
+
+    def test_range_select_inclusive(self):
+        b = make_int_bat([1, 2, 3, 4, 5])
+        out = b.select(2, 4)
+        assert out.tail == [2, 3, 4]
+        assert list(out.heads()) == [1, 2, 3]
+
+    def test_range_select_exclusive_bounds(self):
+        b = make_int_bat([1, 2, 3, 4, 5])
+        out = b.select(2, 4, include_low=False, include_high=False)
+        assert out.tail == [3]
+
+    def test_nil_bound_is_unbounded(self):
+        b = make_int_bat([1, 2, 3])
+        assert b.select(2, nil).tail == [2, 3]
+        assert b.select(nil, 2).tail == [1, 2]
+
+    def test_nil_values_never_qualify(self):
+        b = BAT(INT, [1, nil, 3])
+        assert b.select(nil, nil).tail == [1, 3]
+
+    def test_thetaselect_operators(self):
+        b = make_int_bat([1, 2, 3, 4])
+        assert b.thetaselect(2, ">").tail == [3, 4]
+        assert b.thetaselect(2, "<=").tail == [1, 2]
+        assert b.thetaselect(3, "!=").tail == [1, 2, 4]
+
+    def test_thetaselect_bad_op(self):
+        with pytest.raises(StorageError):
+            make_int_bat([1]).thetaselect(1, "~")
+
+    def test_likeselect(self):
+        b = BAT(STR, ["FURNITURE", "MACHINERY", "AUTOMOBILE"])
+        assert b.likeselect("%URE").tail == ["FURNITURE"]
+        assert b.likeselect("_ACHINERY").tail == ["MACHINERY"]
+
+    def test_likeselect_on_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            make_int_bat([1]).likeselect("%")
+
+
+class TestJoins:
+    def test_leftjoin_void_other_is_fetch(self):
+        oids = BAT(OID, [2, 0], head=[10, 11])
+        values = BAT(STR, ["a", "b", "c"])  # void head 0..2
+        out = oids.leftjoin(values)
+        assert list(out.items()) == [(10, "c"), (11, "a")]
+
+    def test_leftjoin_drops_misses(self):
+        oids = BAT(OID, [5], head=[1])
+        values = BAT(STR, ["a"])
+        assert oids.leftjoin(values).count() == 0
+
+    def test_leftjoin_materialised_other_hash(self):
+        left = BAT(OID, [7, 8], head=[0, 1])
+        right = BAT(STR, ["x", "y"], head=[8, 7])
+        out = left.leftjoin(right)
+        assert list(out.items()) == [(0, "y"), (1, "x")]
+
+    def test_leftjoin_duplicates_multiply(self):
+        left = BAT(OID, [1])
+        right = BAT(STR, ["a", "b"], head=[1, 1])
+        assert left.leftjoin(right).tail == ["a", "b"]
+
+    def test_leftfetchjoin_miss_raises(self):
+        oids = BAT(OID, [5])
+        values = BAT(STR, ["a"])
+        with pytest.raises(StorageError):
+            oids.leftfetchjoin(values)
+
+    def test_leftfetchjoin_propagates_nil(self):
+        oids = BAT(OID, [0, nil, 0])
+        values = BAT(STR, ["a"])
+        assert oids.leftfetchjoin(values).tail == ["a", nil, "a"]
+
+    def test_reverse_swaps_columns(self):
+        b = BAT(INT, [5, 6], head=[10, 20])
+        r = b.reverse()
+        assert list(r.heads()) == [5, 6]
+        assert r.tail == [10, 20]
+
+    def test_reverse_nil_tail_raises(self):
+        with pytest.raises(StorageError):
+            BAT(INT, [nil]).reverse()
+
+    def test_mirror_identity_on_heads(self):
+        b = BAT(INT, [5, 6], head=[3, 4])
+        m = b.mirror()
+        assert list(m.items()) == [(3, 3), (4, 4)]
+
+    def test_mark_renumbers_dense(self):
+        b = BAT(INT, [5, 6], head=[9, 4])
+        m = b.mark(base=100)
+        assert m.is_void_head
+        assert list(m.heads()) == [100, 101]
+        assert m.tail == [5, 6]
+
+    def test_project_constant(self):
+        b = make_int_bat([1, 2, 3])
+        p = b.project("k")
+        assert p.tail == ["k", "k", "k"]
+        assert p.tail_type is STR
+
+    def test_slice(self):
+        b = make_int_bat([0, 1, 2, 3, 4])
+        assert b.slice_(1, 3).tail == [1, 2, 3]
+        assert b.slice_(3, 99).tail == [3, 4]
+        assert b.slice_(4, 2).count() == 0
+
+    def test_semijoin_and_kdifference(self):
+        b = BAT(INT, [10, 20, 30], head=[1, 2, 3])
+        keys = BAT(INT, [0, 0], head=[2, 9])
+        assert b.semijoin(keys).tail == [20]
+        assert b.kdifference(keys).tail == [10, 30]
+
+
+class TestOrderingGrouping:
+    def test_sort_ascending_stable(self):
+        b = BAT(INT, [3, 1, 2, 1])
+        s = b.sort()
+        assert s.tail == [1, 1, 2, 3]
+        assert list(s.heads()) == [1, 3, 2, 0]
+
+    def test_sort_descending(self):
+        b = BAT(STR, ["b", "c", "a"])
+        assert b.sort(reverse=True).tail == ["c", "b", "a"]
+
+    def test_sort_nils_first_ascending(self):
+        b = BAT(INT, [2, nil, 1])
+        assert b.sort().tail == [nil, 1, 2]
+
+    def test_group_basic(self):
+        b = BAT(STR, ["x", "y", "x", "z", "y"])
+        groups, extents, hist = b.group()
+        assert groups.tail == [0, 1, 0, 2, 1]
+        assert extents.tail == [0, 1, 3]
+        assert hist.tail == [2, 2, 1]
+
+    def test_group_nil_forms_its_own_group(self):
+        b = BAT(INT, [1, nil, nil, 1])
+        groups, _extents, hist = b.group()
+        assert groups.tail == [0, 1, 1, 0]
+        assert hist.tail == [2, 2]
+
+    def test_refine_group(self):
+        a = BAT(STR, ["x", "x", "y", "y"])
+        groups, _, _ = a.group()
+        b = BAT(INT, [1, 2, 1, 1])
+        refined, _extents, hist = b.refine_group(groups)
+        assert refined.tail == [0, 1, 2, 2]
+        assert hist.tail == [1, 1, 2]
+
+    def test_refine_group_length_mismatch(self):
+        with pytest.raises(StorageError):
+            BAT(INT, [1]).refine_group(BAT(OID, [0, 0]))
+
+
+class TestAggregates:
+    def test_scalar_aggregates(self):
+        b = BAT(INT, [4, 1, nil, 3])
+        assert b.aggregate("count") == 4
+        assert b.aggregate("sum") == 8
+        assert b.aggregate("min") == 1
+        assert b.aggregate("max") == 4
+        assert b.aggregate("avg") == pytest.approx(8 / 3)
+
+    def test_aggregate_empty_returns_nil_except_count(self):
+        b = BAT(INT, [nil, nil])
+        assert b.aggregate("sum") is nil
+        assert b.aggregate("count") == 2
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(StorageError):
+            BAT(INT, [1]).aggregate("median")
+
+    def test_grouped_sum(self):
+        values = BAT(INT, [10, 20, 30, 40])
+        groups = BAT(OID, [0, 1, 0, 1])
+        out = values.grouped_aggregate(groups, 2, "sum")
+        assert out.tail == [40, 60]
+
+    def test_grouped_count_counts_nils(self):
+        values = BAT(INT, [nil, 1, nil])
+        groups = BAT(OID, [0, 0, 1])
+        out = values.grouped_aggregate(groups, 2, "count")
+        assert out.tail == [2, 1]
+
+    def test_grouped_avg_empty_group_nil(self):
+        values = BAT(INT, [nil])
+        groups = BAT(OID, [0])
+        out = values.grouped_aggregate(groups, 1, "avg")
+        assert out.tail == [nil]
+
+
+class TestCalc:
+    def test_bat_bat_arithmetic(self):
+        a = BAT(INT, [1, 2, 3])
+        b = BAT(INT, [10, 20, 30])
+        assert a.calc(b, "+").tail == [11, 22, 33]
+        assert b.calc(a, "*").tail == [10, 40, 90]
+
+    def test_division_yields_dbl(self):
+        a = BAT(INT, [3])
+        out = a.calc_const(2, "/")
+        assert out.tail == [1.5]
+        assert out.tail_type is DBL
+
+    def test_division_by_zero_is_nil(self):
+        a = BAT(INT, [3])
+        assert a.calc_const(0, "/").tail == [nil]
+
+    def test_comparison_yields_bit(self):
+        a = BAT(INT, [1, 5])
+        out = a.calc_const(3, "<")
+        assert out.tail == [True, False]
+        assert out.tail_type.name == "bit"
+
+    def test_nil_propagates(self):
+        a = BAT(INT, [1, nil])
+        assert a.calc_const(1, "+").tail == [2, nil]
+
+    def test_swapped_const(self):
+        a = BAT(INT, [1, 2])
+        assert a.calc_const(10, "-", swapped=True).tail == [9, 8]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(StorageError):
+            BAT(INT, [1]).calc(BAT(INT, [1, 2]), "+")
+
+    def test_type_promotion_int_dbl(self):
+        a = BAT(INT, [1])
+        b = BAT(DBL, [0.5])
+        out = a.calc(b, "+")
+        assert out.tail_type is DBL
+
+    def test_preserves_heads(self):
+        a = BAT(INT, [1, 2], head=[7, 9])
+        out = a.calc_const(1, "+")
+        assert list(out.heads()) == [7, 9]

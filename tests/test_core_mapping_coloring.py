@@ -1,0 +1,186 @@
+"""Tests for trace↔dot mapping and the §4.2.1 colouring algorithms."""
+
+import pytest
+
+from repro.core.coloring import (
+    PairSequenceColorizer,
+    ThresholdColorizer,
+    color_buffer,
+)
+from repro.core.mapping import PlanTraceMap, node_for_pc, pc_for_node
+from repro.dot import plan_to_graph
+from repro.errors import MappingError
+from repro.mal.parser import parse_instruction_text
+from repro.profiler.events import TraceEvent
+from repro.viz.color import GREEN, RED
+
+
+def make_event(seq, status, pc, clock=None, usec=10, thread=0,
+               stmt="X := a.b();"):
+    return TraceEvent(
+        event=seq, clock_usec=clock if clock is not None else seq * 100,
+        status=status, pc=pc, thread=thread,
+        usec=usec if status == "done" else 0, rss_bytes=0, stmt=stmt,
+    )
+
+
+def pair_stream(*pairs):
+    """Build events from (status, pc) tuples, like the paper's example."""
+    return [make_event(i, status, pc) for i, (status, pc) in enumerate(pairs)]
+
+
+class TestNodeNames:
+    def test_pc_to_node(self):
+        assert node_for_pc(1) == "n1"
+
+    def test_node_to_pc(self):
+        assert pc_for_node("n42") == 42
+
+    def test_bad_node_name(self):
+        with pytest.raises(MappingError):
+            pc_for_node("x42")
+
+    def test_negative_pc(self):
+        with pytest.raises(MappingError):
+            node_for_pc(-1)
+
+
+class TestPlanTraceMap:
+    def graph(self):
+        return plan_to_graph(parse_instruction_text("""
+            X_1 := sql.mvc();
+            X_2 := sql.bind(X_1,"sys","t","x",0);
+            X_3 := algebra.select(X_2,1);
+        """))
+
+    def test_events_indexed_by_node(self):
+        events = pair_stream(("start", 0), ("done", 0), ("start", 1),
+                             ("done", 1))
+        trace_map = PlanTraceMap(self.graph(), events)
+        assert len(trace_map.events_of("n0")) == 2
+        assert trace_map.events_of("n2") == []
+
+    def test_pc_without_node_rejected(self):
+        events = pair_stream(("start", 99),)
+        with pytest.raises(MappingError):
+            PlanTraceMap(self.graph(), events)
+
+    def test_done_event_of(self):
+        events = pair_stream(("start", 1), ("done", 1))
+        trace_map = PlanTraceMap(self.graph(), events)
+        assert trace_map.done_event_of("n1").status == "done"
+        assert trace_map.done_event_of("n0") is None
+
+    def test_executed_and_unexecuted(self):
+        events = pair_stream(("start", 0), ("done", 0))
+        trace_map = PlanTraceMap(self.graph(), events)
+        assert trace_map.executed_nodes() == ["n0"]
+        assert set(trace_map.unexecuted_nodes()) == {"n1", "n2"}
+
+    def test_coverage(self):
+        events = pair_stream(("start", 0), ("done", 0), ("start", 1))
+        trace_map = PlanTraceMap(self.graph(), events)
+        assert trace_map.coverage() == pytest.approx(2 / 3)
+
+    def test_strict_label_mismatch(self):
+        graph = self.graph()
+        events = [make_event(0, "start", 0, stmt="something else")]
+        with pytest.raises(MappingError):
+            PlanTraceMap(graph, events, strict_labels=True)
+
+
+class TestPairSequenceColorizer:
+    def test_paper_worked_example(self):
+        """{start,1},{done,1},{start,2},{done,2},{start,3},{start,4}:
+        only pc=3 turns RED."""
+        events = pair_stream(
+            ("start", 1), ("done", 1), ("start", 2), ("done", 2),
+            ("start", 3), ("start", 4),
+        )
+        actions = color_buffer(events)
+        assert [(a.pc, a.color) for a in actions] == [(3, RED)]
+
+    def test_long_instruction_goes_green_on_done(self):
+        events = pair_stream(
+            ("start", 1), ("start", 2), ("done", 2), ("done", 1),
+        )
+        actions = color_buffer(events)
+        # pc1 overtaken by start2 -> RED; pc2 paired? no: done2 follows
+        # start2 adjacently -> uncoloured; done1 -> GREEN
+        assert (1, RED) == (actions[0].pc, actions[0].color)
+        assert (1, GREEN) == (actions[-1].pc, actions[-1].color)
+        assert all(a.pc != 2 for a in actions)
+
+    def test_fast_pairs_uncolored(self):
+        events = pair_stream(*[
+            pair for pc in range(20)
+            for pair in (("start", pc), ("done", pc))
+        ])
+        assert color_buffer(events) == []
+
+    def test_finish_paints_stuck_instruction(self):
+        colorizer = PairSequenceColorizer()
+        for event in pair_stream(("start", 7),):
+            colorizer.push(event)
+        actions = colorizer.finish()
+        assert [(a.pc, a.color) for a in actions] == [(7, RED)]
+
+    def test_currently_red_tracks_open_long_instructions(self):
+        colorizer = PairSequenceColorizer()
+        for event in pair_stream(("start", 1), ("start", 2)):
+            colorizer.push(event)
+        assert colorizer.currently_red == {1}
+
+    def test_interleaved_threads_all_overtaken(self):
+        events = pair_stream(
+            ("start", 1), ("start", 2), ("start", 3),
+            ("done", 1), ("done", 2), ("done", 3),
+        )
+        actions = color_buffer(events)
+        reds = [a.pc for a in actions if a.color == RED]
+        greens = [a.pc for a in actions if a.color == GREEN]
+        # every start was overtaken before its done -> all RED then GREEN
+        assert set(reds) == {1, 2, 3}
+        assert set(greens) == {1, 2, 3}
+        for pc in (1, 2, 3):
+            per_pc = [a.color for a in actions if a.pc == pc]
+            assert per_pc == [RED, GREEN]
+
+    def test_no_duplicate_red(self):
+        colorizer = PairSequenceColorizer()
+        events = pair_stream(("start", 1), ("start", 2), ("start", 3))
+        actions = []
+        for event in events:
+            actions.extend(colorizer.push(event))
+        reds = [a.pc for a in actions if a.color == RED]
+        assert sorted(reds) == sorted(set(reds))
+
+
+class TestThresholdColorizer:
+    def test_threshold_split(self):
+        colorizer = ThresholdColorizer(threshold_usec=100)
+        slow = make_event(0, "done", 1, usec=500)
+        fast = make_event(1, "done", 2, usec=5)
+        assert colorizer.push(slow)[0].color == RED
+        assert colorizer.push(fast)[0].color == GREEN
+
+    def test_start_events_produce_nothing(self):
+        colorizer = ThresholdColorizer(threshold_usec=100)
+        assert colorizer.push(make_event(0, "start", 1)) == []
+
+    def test_overdue_detection(self):
+        colorizer = ThresholdColorizer(threshold_usec=100)
+        colorizer.push(make_event(0, "start", 1, clock=0))
+        assert colorizer.overdue(clock_usec=50) == []
+        overdue = colorizer.overdue(clock_usec=200)
+        assert [(a.pc, a.color) for a in overdue] == [(1, RED)]
+
+    def test_done_clears_overdue(self):
+        colorizer = ThresholdColorizer(threshold_usec=100)
+        colorizer.push(make_event(0, "start", 1, clock=0))
+        colorizer.push(make_event(1, "done", 1, clock=500, usec=500))
+        assert colorizer.overdue(clock_usec=1000) == []
+
+    def test_positive_threshold_required(self):
+        with pytest.raises(ValueError):
+            ThresholdColorizer(0)

@@ -1,0 +1,62 @@
+"""Documentation invariants: generated references stay in sync and the
+public API carries docstrings."""
+
+import os
+
+import pytest
+
+import repro
+from repro.mal.modules import reference_text, registered_names
+
+DOCS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "docs")
+
+
+class TestMalReference:
+    def test_reference_covers_every_instruction(self):
+        text = reference_text()
+        for qualified_name in registered_names():
+            assert f"`{qualified_name}`" in text
+
+    def test_reference_has_no_undocumented_entries(self):
+        assert "(undocumented)" not in reference_text()
+
+    def test_committed_reference_in_sync(self):
+        path = os.path.join(DOCS_DIR, "mal_reference.md")
+        with open(path) as handle:
+            committed = handle.read()
+        assert committed.strip() == reference_text().strip(), (
+            "docs/mal_reference.md is stale; regenerate with "
+            "python -c \"from repro.mal.modules import reference_text; "
+            "open('docs/mal_reference.md','w')"
+            ".write(reference_text() + '\\n')\""
+        )
+
+
+class TestDocstringCoverage:
+    def _public_names(self, module):
+        return [
+            getattr(module, name) for name in getattr(module, "__all__", [])
+            if not isinstance(getattr(module, name), (str, int, float))
+            and getattr(module, name) is not None  # the nil sentinel
+        ]
+
+    @pytest.mark.parametrize("module_name", [
+        "repro", "repro.core", "repro.storage", "repro.mal",
+        "repro.sqlfe", "repro.server", "repro.profiler", "repro.dot",
+        "repro.layout", "repro.svg", "repro.viz", "repro.tpch",
+        "repro.workloads",
+    ])
+    def test_every_public_item_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for item in self._public_names(module):
+            assert getattr(item, "__doc__", None), (
+                f"{module_name}: {item!r} lacks a docstring"
+            )
+
+    def test_docs_directory_complete(self):
+        for name in ("architecture.md", "mal_reference.md",
+                     "trace_format.md"):
+            assert os.path.exists(os.path.join(DOCS_DIR, name))

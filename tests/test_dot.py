@@ -1,0 +1,189 @@
+"""Tests for the dot graph model, writer and parser."""
+
+import pytest
+
+from repro.dot import Digraph, graph_to_dot, parse_dot, plan_to_dot, plan_to_graph
+from repro.errors import DotError, DotParseError
+from repro.mal.parser import parse_instruction_text
+
+PLAN_TEXT = """
+    X_1 := sql.mvc();
+    X_2 := sql.bind(X_1,"sys","t","x",0);
+    X_3 := algebra.select(X_2,1);
+    X_4 := bat.mirror(X_3);
+    X_5 := algebra.leftjoin(X_4,X_2);
+    sql.exportResult(X_5);
+"""
+
+
+class TestDigraph:
+    def make(self):
+        g = Digraph("G")
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        return g
+
+    def test_nodes_created_by_edges(self):
+        g = self.make()
+        assert set(g.nodes) == {"a", "b", "c", "d"}
+
+    def test_duplicate_node_raises(self):
+        g = self.make()
+        with pytest.raises(DotError):
+            g.add_node("a")
+
+    def test_degrees(self):
+        g = self.make()
+        assert g.out_degree("a") == 2
+        assert g.in_degree("d") == 2
+
+    def test_roots_and_leaves(self):
+        g = self.make()
+        assert g.roots() == ["a"]
+        assert g.leaves() == ["d"]
+
+    def test_successors_predecessors(self):
+        g = self.make()
+        assert g.successors("a") == ["b", "c"]
+        assert g.predecessors("d") == ["b", "c"]
+
+    def test_topological_order(self):
+        g = self.make()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(DotError):
+            g.topological_order()
+
+    def test_reachable(self):
+        g = self.make()
+        assert g.reachable_from("b") == {"b", "d"}
+
+    def test_bfs_layers(self):
+        g = self.make()
+        layers = g.bfs_layers()
+        assert layers == [["a"], ["b", "c"], ["d"]]
+
+    def test_subgraph(self):
+        g = self.make()
+        sub = g.subgraph({"a", "b", "d"})
+        assert set(sub.nodes) == {"a", "b", "d"}
+        assert sub.edge_count() == 2  # a->b, b->d
+
+    def test_missing_node_lookup_raises(self):
+        with pytest.raises(DotError):
+            self.make().node("zzz")
+
+
+class TestWriter:
+    def test_plan_nodes_named_by_pc(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        graph = plan_to_graph(program)
+        assert set(graph.nodes) == {f"n{i}" for i in range(6)}
+
+    def test_labels_carry_statements(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        graph = plan_to_graph(program)
+        assert "sql.mvc()" in graph.node("n0").label
+        assert graph.node("n2").attrs["pc"] == "2"
+
+    def test_edges_follow_dataflow(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        graph = plan_to_graph(program)
+        assert "n2" in graph.successors("n1")   # bind -> select
+        assert "n5" in graph.successors("n4")   # leftjoin -> exportResult
+
+    def test_graph_acyclic(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        assert plan_to_graph(program).is_acyclic()
+
+    def test_dot_text_shape(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        text = plan_to_dot(program)
+        assert text.startswith("digraph user_fragment {")
+        assert "n1 -> n2;" in text
+        assert text.rstrip().endswith("}")
+
+
+class TestParser:
+    def test_roundtrip_plan(self):
+        program = parse_instruction_text(PLAN_TEXT)
+        original = plan_to_graph(program)
+        parsed = parse_dot(graph_to_dot(original))
+        assert set(parsed.nodes) == set(original.nodes)
+        assert parsed.edge_count() == original.edge_count()
+        for node_id in original.nodes:
+            assert parsed.node(node_id).label == original.node(node_id).label
+
+    def test_edge_chain(self):
+        g = parse_dot("digraph { a -> b -> c; }")
+        assert g.edge_count() == 2
+        assert g.successors("b") == ["c"]
+
+    def test_node_defaults_applied(self):
+        g = parse_dot('digraph { node [shape=circle]; a; b [shape=box]; }')
+        assert g.node("a").attrs["shape"] == "circle"
+        assert g.node("b").attrs["shape"] == "box"
+
+    def test_edge_defaults_applied(self):
+        g = parse_dot("digraph { edge [color=red]; a -> b; }")
+        assert g.edges[0].attrs["color"] == "red"
+
+    def test_graph_attributes(self):
+        g = parse_dot('digraph G { rankdir=LR; label="my graph"; a; }')
+        assert g.attrs["rankdir"] == "LR"
+        assert g.attrs["label"] == "my graph"
+
+    def test_quoted_labels_with_escapes(self):
+        g = parse_dot('digraph { a [label="x := f(\\"s\\");"]; }')
+        assert g.node("a").label == 'x := f("s");'
+
+    def test_comments_ignored(self):
+        g = parse_dot(
+            "digraph { // line\n# hash\n/* block\nspanning */ a -> b; }"
+        )
+        assert g.edge_count() == 1
+
+    def test_subgraph_flattened(self):
+        g = parse_dot(
+            "digraph { subgraph cluster_0 { a -> b; } b -> c; }"
+        )
+        assert set(g.nodes) == {"a", "b", "c"}
+        assert g.edge_count() == 2
+
+    def test_numeric_ids(self):
+        g = parse_dot("digraph { 1 -> 2; }")
+        assert set(g.nodes) == {"1", "2"}
+
+    def test_strict_accepted(self):
+        assert parse_dot("strict digraph { a; }").node_count() == 1
+
+    def test_undirected_rejected(self):
+        with pytest.raises(DotParseError):
+            parse_dot("graph { a -- b; }")
+
+    def test_missing_brace(self):
+        with pytest.raises(DotParseError):
+            parse_dot("digraph { a -> b;")
+
+    def test_error_carries_line(self):
+        with pytest.raises(DotParseError, match="line 2"):
+            parse_dot("digraph {\n a = ; \n}")
+
+    def test_large_generated_graph(self):
+        lines = ["digraph big {"]
+        for i in range(1500):
+            lines.append(f'n{i} [label="node {i}"];')
+        for i in range(1, 1500):
+            lines.append(f"n{i - 1} -> n{i};")
+        lines.append("}")
+        g = parse_dot("\n".join(lines))
+        assert g.node_count() == 1500
+        assert g.edge_count() == 1499

@@ -1,0 +1,109 @@
+"""Tests for EXPLAIN/TRACE SQL modifiers and the contention model."""
+
+import pytest
+
+from repro.errors import MalRuntimeError
+from repro.mal.dataflow import SimulatedScheduler
+from repro.mal.optimizer import default_pipe
+from repro.server import Database
+from repro.sqlfe import compile_sql
+from repro.storage import Catalog
+from repro.tpch import populate, query_sql
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(workers=4, mitosis_threshold=200)
+    populate(database.catalog, scale_factor=0.1, seed=5)
+    return database
+
+
+class TestExplainStatement:
+    def test_explain_returns_plan_rows(self, db):
+        outcome = db.execute("explain select count(*) from lineitem")
+        assert outcome.columns == ["mal"]
+        text = "\n".join(r[0] for r in outcome.rows)
+        assert text.startswith("function user.")
+        assert "end " in text
+
+    def test_explain_does_not_execute(self, db):
+        outcome = db.execute(
+            "explain select count(*) from lineitem where l_quantity > 5"
+        )
+        assert outcome.execution is None
+
+    def test_explain_case_insensitive(self, db):
+        outcome = db.execute("EXPLAIN select count(*) from region")
+        assert outcome.columns == ["mal"]
+
+
+class TestTraceStatement:
+    def test_trace_returns_event_rows(self, db):
+        outcome = db.execute("trace select count(*) from region")
+        assert outcome.columns[:4] == ["event", "clock", "status", "pc"]
+        statuses = {row[2] for row in outcome.rows}
+        assert statuses == {"start", "done"}
+
+    def test_trace_rows_pair_up(self, db):
+        outcome = db.execute("trace select count(*) from nation")
+        starts = sum(1 for r in outcome.rows if r[2] == "start")
+        dones = sum(1 for r in outcome.rows if r[2] == "done")
+        assert starts == dones > 0
+
+    def test_trace_carries_statement_text(self, db):
+        outcome = db.execute("trace select count(*) from region")
+        assert any("sql.tid" in row[7] for row in outcome.rows)
+
+
+class TestContention:
+    def program(self, db, workers=4):
+        pipeline = default_pipe(nparts=workers, mitosis_threshold=200)
+        for opt_pass in pipeline.passes:
+            if hasattr(opt_pass, "catalog"):
+                opt_pass.catalog = db.catalog
+        return pipeline.apply(
+            compile_sql(db.catalog, query_sql("q6"))
+        )
+
+    def test_contention_inflates_parallel_makespan(self, db):
+        program = self.program(db)
+        ideal = SimulatedScheduler(db.catalog, workers=4).run(program)
+        contended = SimulatedScheduler(
+            db.catalog, workers=4, contention=0.2
+        ).run(self.program(db))
+        assert contended.total_usec > ideal.total_usec
+
+    def test_contention_ignores_sequential_runs(self, db):
+        program = self.program(db, workers=1)
+        program.dataflow_enabled = False
+        a = SimulatedScheduler(db.catalog, workers=1).run(program)
+        b = SimulatedScheduler(
+            db.catalog, workers=1, contention=0.5
+        ).run(program)
+        assert a.total_usec == b.total_usec  # never >0 other busy workers
+
+    def test_contention_makes_speedup_sublinear(self, db):
+        serial = SimulatedScheduler(db.catalog, workers=1).run(
+            self.program(db)
+        ).total_usec
+        ideal = SimulatedScheduler(db.catalog, workers=4).run(
+            self.program(db)
+        ).total_usec
+        contended = SimulatedScheduler(
+            db.catalog, workers=4, contention=0.15
+        ).run(self.program(db)).total_usec
+        assert serial / contended < serial / ideal
+
+    def test_negative_contention_rejected(self, db):
+        with pytest.raises(MalRuntimeError):
+            SimulatedScheduler(db.catalog, contention=-0.1)
+
+    def test_deterministic_under_contention(self, db):
+        a = SimulatedScheduler(
+            db.catalog, workers=4, contention=0.1
+        ).run(self.program(db))
+        b = SimulatedScheduler(
+            db.catalog, workers=4, contention=0.1
+        ).run(self.program(db))
+        assert [(r.pc, r.start_usec, r.end_usec) for r in a.runs] == \
+            [(r.pc, r.start_usec, r.end_usec) for r in b.runs]

@@ -1,0 +1,114 @@
+"""Tests for the force-directed layout and the minimap."""
+
+import pytest
+
+from repro.dot import Digraph, plan_to_graph
+from repro.layout import layout_graph
+from repro.layout.force import ForceLayout
+from repro.mal.parser import parse_instruction_text
+from repro.viz import View, build_virtual_space
+from repro.viz.color import GREEN, RED
+from repro.viz.minimap import Minimap
+
+
+def ring(n=8):
+    g = Digraph()
+    for i in range(n):
+        g.add_edge(f"n{i}", f"n{(i + 1) % n}")
+    return g
+
+
+class TestForceLayout:
+    def test_all_nodes_placed(self):
+        layout = ForceLayout(iterations=50).layout(ring())
+        assert len(layout.nodes) == 8
+        assert len(layout.edges) == 8
+
+    def test_handles_cycles(self):
+        # a ring would break naive layering; force layout doesn't care
+        layout = ForceLayout(iterations=30).layout(ring(5))
+        assert layout.width > 0 and layout.height > 0
+
+    def test_deterministic_for_seed(self):
+        a = ForceLayout(seed=7).layout(ring())
+        b = ForceLayout(seed=7).layout(ring())
+        for node_id in a.nodes:
+            assert a.nodes[node_id].x == pytest.approx(b.nodes[node_id].x)
+
+    def test_seed_changes_placement(self):
+        a = ForceLayout(seed=1).layout(ring())
+        b = ForceLayout(seed=2).layout(ring())
+        assert any(
+            abs(a.nodes[n].x - b.nodes[n].x) > 1e-6 for n in a.nodes
+        )
+
+    def test_connected_nodes_closer_than_average(self):
+        import math
+
+        g = Digraph()
+        # two 4-cliques joined by one edge
+        for group in ("a", "b"):
+            ids = [f"{group}{i}" for i in range(4)]
+            for i, src in enumerate(ids):
+                for dst in ids[i + 1:]:
+                    g.add_edge(src, dst)
+        g.add_edge("a0", "b0")
+        layout = ForceLayout(iterations=200, seed=3).layout(g)
+
+        def dist(p, q):
+            return math.hypot(layout.nodes[p].x - layout.nodes[q].x,
+                              layout.nodes[p].y - layout.nodes[q].y)
+
+        within = dist("a1", "a2")
+        across = dist("a1", "b1")
+        assert within < across
+
+    def test_empty_and_single(self):
+        assert ForceLayout().layout(Digraph()).nodes == {}
+        g = Digraph()
+        g.add_node("only")
+        assert len(ForceLayout().layout(g).nodes) == 1
+
+    def test_positions_non_negative(self):
+        layout = ForceLayout(iterations=40).layout(ring())
+        for node in layout.nodes.values():
+            assert node.x >= 0 and node.y >= 0
+
+
+class TestMinimap:
+    @pytest.fixture
+    def space(self):
+        program = parse_instruction_text("""
+            X_1 := sql.mvc();
+            X_2 := sql.bind(X_1,"sys","t","x",0);
+            X_3 := algebra.select(X_2,1);
+            sql.exportResult(X_3);
+        """)
+        return build_virtual_space(layout_graph(plan_to_graph(program)))
+
+    def test_every_node_dotted(self, space):
+        text = Minimap(space).render()
+        assert text.count(".") == 4
+
+    def test_colored_states_visible(self, space):
+        space.shape_of("n2").fill = RED
+        space.shape_of("n1").fill = GREEN
+        text = Minimap(space).render()
+        assert "r" in text and "g" in text
+
+    def test_viewport_rectangle_drawn(self, space):
+        view = View(space, width=400, height=300)
+        view.fit_all()
+        view.camera.zoom_in(3)
+        text = Minimap(space, width=40, height=14).render(view)
+        assert "+" in text  # rectangle corners
+
+    def test_viewport_shrinks_when_zooming(self, space):
+        view = View(space, width=400, height=300)
+        view.fit_all()
+        minimap = Minimap(space, width=60, height=20)
+        c0, r0, c1, r1 = minimap.viewport_rectangle(view)
+        wide_area = (c1 - c0) * (r1 - r0)
+        view.camera.zoom_in(4)
+        c0, r0, c1, r1 = minimap.viewport_rectangle(view)
+        assert (c1 - c0) * (r1 - r0) < wide_area

@@ -1,0 +1,200 @@
+"""Tests for the Sugiyama layout engine."""
+
+import pytest
+
+from repro.dot import Digraph, parse_dot, plan_to_graph
+from repro.layout import LayeredLayout, layout_graph
+from repro.layout.acyclic import acyclic_orientation
+from repro.layout.geometry import node_size_for_label
+from repro.layout.ordering import count_crossings, insert_virtual_nodes
+from repro.layout.rank import assign_ranks, layers_from_ranks
+from repro.mal.parser import parse_instruction_text
+
+
+def diamond():
+    g = Digraph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestAcyclic:
+    def test_dag_untouched(self):
+        oriented, reversed_indices = acyclic_orientation(diamond())
+        assert reversed_indices == set()
+        assert len(oriented) == 4
+
+    def test_cycle_broken(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        oriented, reversed_indices = acyclic_orientation(g)
+        assert len(reversed_indices) == 1
+        ranks = assign_ranks(list(g.nodes), oriented)
+        for src, dst in oriented:
+            assert ranks[src] < ranks[dst]
+
+    def test_self_loop_dropped_from_orientation(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        g.add_edge("a", "b")
+        oriented, _ = acyclic_orientation(g)
+        assert ("a", "a") not in oriented
+
+
+class TestRanking:
+    def test_diamond_ranks(self):
+        g = diamond()
+        oriented, _ = acyclic_orientation(g)
+        ranks = assign_ranks(list(g.nodes), oriented)
+        assert ranks == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_edges_point_downward(self):
+        program = parse_instruction_text("""
+            X_1 := sql.mvc();
+            X_2 := sql.bind(X_1,"sys","t","x",0);
+            X_3 := algebra.select(X_2,1);
+            sql.exportResult(X_3);
+        """)
+        g = plan_to_graph(program)
+        oriented, _ = acyclic_orientation(g)
+        ranks = assign_ranks(list(g.nodes), oriented)
+        for src, dst in oriented:
+            assert ranks[src] < ranks[dst]
+
+    def test_source_pulled_toward_consumer(self):
+        # a -> b -> c -> d ; e -> d : e should sit at rank 2, not 0
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        g.add_edge("e", "d")
+        oriented, _ = acyclic_orientation(g)
+        ranks = assign_ranks(list(g.nodes), oriented)
+        assert ranks["e"] == ranks["d"] - 1
+
+    def test_layers_dense(self):
+        ranks = {"a": 0, "b": 2, "c": 1}
+        layers = layers_from_ranks(ranks)
+        assert layers == [["a"], ["c"], ["b"]]
+
+
+class TestOrdering:
+    def test_virtual_nodes_for_long_edges(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")  # spans 2 ranks
+        oriented, _ = acyclic_orientation(g)
+        ranks = assign_ranks(list(g.nodes), oriented)
+        seg = insert_virtual_nodes(ranks, layers_from_ranks(ranks), oriented)
+        assert len(seg.virtual) == 1
+        assert all(
+            abs(ranks.get(s, -1) - ranks.get(d, -1)) <= 1
+            or s in seg.virtual or d in seg.virtual
+            for s, d in seg.segments
+        )
+
+    def test_count_crossings_known_case(self):
+        layers = [["a", "b"], ["x", "y"]]
+        crossing = [("a", "y"), ("b", "x")]
+        straight = [("a", "x"), ("b", "y")]
+        assert count_crossings(layers, crossing) == 1
+        assert count_crossings(layers, straight) == 0
+
+    def test_sweeps_remove_trivial_crossing(self):
+        g = Digraph()
+        g.add_edge("a", "y")
+        g.add_edge("b", "x")
+        g.add_node("dummy")  # irrelevant isolated node
+        layout_engine = LayeredLayout()
+        layout_engine.layout(g)
+        assert layout_engine.last_crossings == 0
+
+
+class TestEngine:
+    def test_every_node_positioned(self):
+        layout = layout_graph(diamond())
+        assert set(layout.nodes) == {"a", "b", "c", "d"}
+
+    def test_no_overlap_within_layer(self):
+        program = parse_instruction_text("""
+            X_0 := sql.mvc();
+            X_1 := sql.bind(X_0,"sys","t","a",0);
+            X_2 := sql.bind(X_0,"sys","t","b",0);
+            X_3 := sql.bind(X_0,"sys","t","c",0);
+            X_4 := algebra.leftjoin(X_1,X_2);
+            X_5 := algebra.leftjoin(X_4,X_3);
+            sql.exportResult(X_5);
+        """)
+        layout = layout_graph(plan_to_graph(program))
+        by_rank = {}
+        for node in layout.nodes.values():
+            by_rank.setdefault(node.rank, []).append(node)
+        for nodes in by_rank.values():
+            nodes.sort(key=lambda n: n.x)
+            for left, right in zip(nodes, nodes[1:]):
+                assert left.right < right.left, (
+                    f"{left.node_id} overlaps {right.node_id}"
+                )
+
+    def test_edges_have_polylines(self):
+        layout = layout_graph(diamond())
+        assert len(layout.edges) == 4
+        assert all(len(e.points) >= 2 for e in layout.edges)
+
+    def test_dependency_flows_downward(self):
+        layout = layout_graph(diamond())
+        assert layout.nodes["a"].y < layout.nodes["b"].y < layout.nodes["d"].y
+
+    def test_bounds_positive(self):
+        layout = layout_graph(diamond())
+        assert layout.width > 0 and layout.height > 0
+        for node in layout.nodes.values():
+            assert node.left >= 0 and node.top >= 0
+
+    def test_node_at_hit_test(self):
+        layout = layout_graph(diamond())
+        node = layout.nodes["a"]
+        assert layout.node_at(node.x, node.y).node_id == "a"
+        assert layout.node_at(-1000.0, -1000.0) is None
+
+    def test_empty_graph(self):
+        layout = layout_graph(Digraph())
+        assert layout.nodes == {} and layout.edges == []
+
+    def test_single_node(self):
+        g = Digraph()
+        g.add_node("only", {"label": "hello"})
+        layout = layout_graph(g)
+        assert layout.nodes["only"].label == "hello"
+
+    def test_self_loop_rendered(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        layout = layout_graph(g)
+        assert len(layout.edges) == 1
+        assert len(layout.edges[0].points) == 3
+
+    def test_label_size_model(self):
+        small_w, _ = node_size_for_label("ab")
+        large_w, _ = node_size_for_label("a" * 60)
+        assert large_w > small_w
+        _, one_line = node_size_for_label("x")
+        _, two_lines = node_size_for_label("x\ny")
+        assert two_lines > one_line
+
+    def test_thousand_node_plan(self):
+        g = Digraph()
+        for i in range(1, 1200):
+            g.add_edge(f"n{(i - 1) // 3}", f"n{i}")
+        layout = layout_graph(g)
+        assert len(layout.nodes) == 1200
+
+    def test_bounds_of_selection(self):
+        layout = layout_graph(diamond())
+        left, top, right, bottom = layout.bounds_of(["a", "d"])
+        assert right > left and bottom > top

@@ -1,0 +1,110 @@
+"""Unit tests for MAL AST construction and dataflow analysis."""
+
+import pytest
+
+from repro.errors import MalError
+from repro.mal import Const, MalProgram, Var, bat_of, scalar_of
+from repro.mal.ast import ANY, TypeSpec
+
+
+class TestTypeSpec:
+    def test_scalar_str(self):
+        assert str(scalar_of("int")) == ":int"
+
+    def test_bat_str(self):
+        assert str(bat_of("dbl")) == ":bat[:oid,:dbl]"
+
+    def test_any_str(self):
+        assert str(ANY) == ":any"
+
+    def test_is_bat(self):
+        assert bat_of("int").is_bat
+        assert not scalar_of("int").is_bat
+
+
+class TestProgramConstruction:
+    def test_new_var_names_unique(self):
+        p = MalProgram()
+        names = {p.new_var() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_declare_duplicate_raises(self):
+        p = MalProgram()
+        p.declare("X_1")
+        with pytest.raises(MalError):
+            p.declare("X_1")
+
+    def test_add_assigns_pc_in_order(self):
+        p = MalProgram()
+        a = p.add("sql", "mvc", [], [p.new_var()])
+        b = p.add("language", "pass", [Var(a.results[0])])
+        assert (a.pc, b.pc) == (0, 1)
+
+    def test_call_returns_var(self):
+        p = MalProgram()
+        v = p.call("sql", "mvc")
+        assert isinstance(v, Var)
+        assert p.instructions[0].results == [v.name]
+
+    def test_renumber_after_delete(self):
+        p = MalProgram()
+        p.call("sql", "mvc")
+        p.call("sql", "mvc")
+        del p.instructions[0]
+        p.renumber()
+        assert p.instructions[0].pc == 0
+
+
+class TestAnalysis:
+    def make_chain(self):
+        p = MalProgram()
+        a = p.call("sql", "mvc")
+        b = p.call("language", "pass", [a])
+        c = p.call("calc", "add", [Const(1), Const(2)])
+        d = p.call("calc", "add", [b, c])
+        return p, a, b, c, d
+
+    def test_dependencies(self):
+        p, _a, _b, _c, _d = self.make_chain()
+        deps = p.dependencies()
+        assert deps[0] == set()
+        assert deps[1] == {0}
+        assert deps[2] == set()
+        assert deps[3] == {1, 2}
+
+    def test_def_sites_and_users(self):
+        p, a, _b, _c, _d = self.make_chain()
+        assert p.def_sites()[a.name] == 0
+        assert p.users()[a.name] == [1]
+
+    def test_defining_instruction(self):
+        p, a, *_ = self.make_chain()
+        assert p.defining_instruction(a.name).pc == 0
+        assert p.defining_instruction("nope") is None
+
+    def test_validate_ok(self):
+        p, *_ = self.make_chain()
+        p.validate()
+
+    def test_validate_use_before_def(self):
+        p = MalProgram()
+        p.declare("X_9")
+        p.add("language", "pass", [Var("X_9")])
+        with pytest.raises(MalError):
+            p.validate()
+
+    def test_validate_double_assignment(self):
+        p = MalProgram()
+        v = p.new_var()
+        p.add("sql", "mvc", [], [v])
+        p.add("sql", "mvc", [], [v])
+        with pytest.raises(MalError):
+            p.validate()
+
+    def test_uses_and_defines(self):
+        p = MalProgram()
+        a = p.call("sql", "mvc")
+        instr = p.add("language", "pass", [a, Const(1)])
+        assert list(instr.uses()) == [a.name]
+        assert list(instr.defines()) == []
+        assert instr.qualified_name == "language.pass"

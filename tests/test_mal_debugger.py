@@ -1,0 +1,130 @@
+"""Tests for the GDB-like MAL debugger."""
+
+import pytest
+
+from repro.errors import MalRuntimeError
+from repro.mal.debugger import MalDebugger
+from repro.mal.parser import parse_instruction_text
+from repro.storage import Catalog, INT
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    t = cat.schema().create_table("t", [("x", INT)])
+    t.insert_many([[i] for i in range(20)])
+    return cat
+
+
+PLAN = """
+    X_1 := sql.mvc();
+    X_2 := sql.bind(X_1,"sys","t","x",0);
+    X_3 := algebra.thetaselect(X_2,10,">=");
+    X_4 := aggr.count(X_3);
+    X_9 := sql.resultSet(1,1);
+    X_10 := sql.rsColumn(X_9,"sys.t","n","lng",X_4);
+    sql.exportResult(X_10);
+"""
+
+
+def make(catalog):
+    return MalDebugger(catalog, parse_instruction_text(PLAN))
+
+
+class TestStepping:
+    def test_step_executes_one(self, catalog):
+        mdb = make(catalog)
+        text = mdb.step()
+        assert "sql.mvc" in text
+        assert mdb.pc == 1
+
+    def test_next_n(self, catalog):
+        mdb = make(catalog)
+        assert mdb.next(3) == 3
+        assert mdb.pc == 3
+
+    def test_step_past_end(self, catalog):
+        mdb = make(catalog)
+        mdb.run_to_end()
+        assert mdb.finished
+        assert mdb.step() is None
+
+    def test_run_to_end_produces_result(self, catalog):
+        mdb = make(catalog)
+        mdb.run_to_end()
+        assert mdb.ctx.result_sets[0].rows() == [(10,)]
+
+
+class TestBreakpoints:
+    def test_break_on_function(self, catalog):
+        mdb = make(catalog)
+        mdb.break_at("aggr.count")
+        stopped = mdb.cont()
+        assert stopped == 3
+        assert mdb.current_instruction.function == "count"
+
+    def test_break_on_pc(self, catalog):
+        mdb = make(catalog)
+        mdb.break_at(2)
+        assert mdb.cont() == 2
+
+    def test_cont_steps_off_current_breakpoint(self, catalog):
+        mdb = make(catalog)
+        mdb.break_at(2)
+        mdb.cont()
+        assert mdb.cont() is None  # runs to the end, no re-trigger
+        assert mdb.finished
+
+    def test_multiple_breakpoints_in_order(self, catalog):
+        mdb = make(catalog)
+        mdb.break_at(1)
+        mdb.break_at("sql.exportResult")
+        assert mdb.cont() == 1
+        assert mdb.cont() == 6
+
+    def test_clear_breakpoints(self, catalog):
+        mdb = make(catalog)
+        mdb.break_at(1)
+        mdb.clear_breakpoints()
+        assert mdb.cont() is None
+
+    def test_break_out_of_range(self, catalog):
+        with pytest.raises(MalRuntimeError):
+            make(catalog).break_at(99)
+
+
+class TestInspection:
+    def test_inspect_bat_preview(self, catalog):
+        mdb = make(catalog)
+        mdb.next(3)
+        text = mdb.inspect("X_2", max_rows=3)
+        assert "count=20" in text
+        assert "... 17 more" in text
+
+    def test_inspect_scalar(self, catalog):
+        mdb = make(catalog)
+        mdb.next(4)
+        assert "10" in mdb.inspect("X_4")
+
+    def test_inspect_undefined(self, catalog):
+        assert "<undefined>" in make(catalog).inspect("X_77")
+
+    def test_variables_listing(self, catalog):
+        mdb = make(catalog)
+        mdb.next(2)
+        variables = mdb.variables()
+        assert variables["X_2"].startswith("BAT#20")
+        assert "X_1" in variables
+
+    def test_list_source_marks_current(self, catalog):
+        mdb = make(catalog)
+        mdb.next(2)
+        listing = mdb.list_source(context=2)
+        assert "=> [   2]" in listing
+        assert "[   0]" in listing
+
+    def test_where(self, catalog):
+        mdb = make(catalog)
+        assert "pc=0" in mdb.where()
+        mdb.run_to_end()
+        assert mdb.where() == "at end of plan"

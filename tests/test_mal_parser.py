@@ -1,0 +1,126 @@
+"""Unit tests for the MAL text parser and printer (round-trip)."""
+
+import pytest
+
+from repro.errors import MalParseError
+from repro.mal import format_program, parse_program
+from repro.mal.ast import Const, Var
+from repro.mal.parser import parse_instruction_text
+
+SIMPLE = """\
+function user.s1_1{autoCommit=true}():void;
+    X_2 := sql.mvc();
+    X_10:bat[:oid,:int] := sql.bind(X_2,"sys","lineitem","l_partkey",0);
+    X_23:bat[:oid,:oid] := algebra.select(X_10,1);
+    X_30 := algebra.leftjoin(X_23,X_10);
+    sql.exportResult(X_30);
+end s1_1;
+"""
+
+
+class TestParsing:
+    def test_header(self):
+        p = parse_program(SIMPLE)
+        assert p.name == "user.s1_1"
+        assert p.properties == {"autoCommit": True}
+
+    def test_instruction_count_and_pcs(self):
+        p = parse_program(SIMPLE)
+        assert len(p) == 5
+        assert [i.pc for i in p] == [0, 1, 2, 3, 4]
+
+    def test_args_kinds(self):
+        p = parse_program(SIMPLE)
+        bind = p.instructions[1]
+        assert isinstance(bind.args[0], Var)
+        assert isinstance(bind.args[1], Const)
+        assert bind.args[1].value == "sys"
+        assert bind.args[4].value == 0
+
+    def test_type_annotations_recorded(self):
+        p = parse_program(SIMPLE)
+        spec = p.type_of("X_10")
+        assert spec.is_bat and spec.tail.name == "int"
+
+    def test_bare_call_without_results(self):
+        p = parse_program(SIMPLE)
+        assert p.instructions[4].results == []
+
+    def test_multi_result(self):
+        p = parse_instruction_text(
+            "X_1 := sql.mvc();\n(X_2,X_3,X_4) := group.new(X_1);"
+        )
+        assert p.instructions[1].results == ["X_2", "X_3", "X_4"]
+
+    def test_literals(self):
+        p = parse_instruction_text(
+            'X_1 := calc.add(1,2.5);\nX_2 := calc.ifthenelse(true,nil,"s");'
+        )
+        a = p.instructions[0].args
+        assert a[0].value == 1 and a[1].value == 2.5
+        b = p.instructions[1].args
+        assert b[0].value is True and b[1].value is None and b[2].value == "s"
+
+    def test_typed_literal(self):
+        p = parse_instruction_text("X_1 := calc.lng(0:lng);")
+        const = p.instructions[0].args[0]
+        assert const.value == 0 and const.mal_type.name == "lng"
+
+    def test_negative_number(self):
+        p = parse_instruction_text("X_1 := calc.add(-3,-1.5);")
+        assert p.instructions[0].args[0].value == -3
+
+    def test_comments_ignored(self):
+        p = parse_instruction_text("# nothing\nX_1 := sql.mvc(); # trailing\n")
+        assert len(p) == 1
+
+    def test_string_escapes(self):
+        p = parse_instruction_text(r'X_1 := calc.str("a\"b");')
+        assert p.instructions[0].args[0].value == 'a"b'
+
+
+class TestParseErrors:
+    def test_missing_end(self):
+        with pytest.raises(MalParseError):
+            parse_program("function user.x():void;\nX_1 := sql.mvc();")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MalParseError):
+            parse_instruction_text("X_1 := sql.mvc()")
+
+    def test_bad_character(self):
+        with pytest.raises(MalParseError):
+            parse_instruction_text("X_1 := sql.mvc(); @")
+
+    def test_garbage_after_end(self):
+        with pytest.raises(MalParseError):
+            parse_program(
+                "function user.x():void;\nend x;\nmore"
+            )
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(MalParseError, match="line 2"):
+            parse_program("function user.x():void;\nX_1 := ;\nend x;")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_structure(self):
+        original = parse_program(SIMPLE)
+        text = format_program(original)
+        again = parse_program(text)
+        assert len(again) == len(original)
+        for a, b in zip(original, again):
+            assert a.qualified_name == b.qualified_name
+            assert a.results == b.results
+            assert len(a.args) == len(b.args)
+
+    def test_roundtrip_preserves_types(self):
+        original = parse_program(SIMPLE)
+        again = parse_program(format_program(original))
+        assert str(again.type_of("X_10")) == ":bat[:oid,:int]"
+
+    def test_print_contains_figure1_shapes(self):
+        text = format_program(parse_program(SIMPLE))
+        assert "function user.s1_1" in text
+        assert 'sql.bind(X_2,"sys","lineitem","l_partkey",0)' in text
+        assert text.rstrip().endswith("end s1_1;")

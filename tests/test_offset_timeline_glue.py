@@ -1,0 +1,131 @@
+"""Tests for LIMIT/OFFSET, the rss timeline, online→offline glue and the
+screenshot CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.analysis import render_rss_sparkline, rss_timeline
+from repro.mal import Interpreter
+from repro.profiler.events import TraceEvent
+from repro.sqlfe import compile_sql
+from repro.storage import Catalog, INT
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    t = cat.schema().create_table("t", [("x", INT)])
+    t.insert_many([[i] for i in range(10)])
+    return cat
+
+
+def run(catalog, sql):
+    return Interpreter(catalog).run(compile_sql(catalog, sql)).rows()
+
+
+class TestOffset:
+    def test_limit_offset_window(self, catalog):
+        rows = run(catalog, "select x from t order by x limit 3 offset 4")
+        assert rows == [(4,), (5,), (6,)]
+
+    def test_offset_zero_default(self, catalog):
+        rows = run(catalog, "select x from t order by x limit 2")
+        assert rows == [(0,), (1,)]
+
+    def test_offset_past_end(self, catalog):
+        rows = run(catalog, "select x from t limit 5 offset 100")
+        assert rows == []
+
+    def test_offset_requires_integer(self, catalog):
+        from repro.errors import SqlParseError
+
+        with pytest.raises(SqlParseError):
+            run(catalog, "select x from t limit 5 offset 1.5")
+
+
+class TestRssTimeline:
+    def events(self):
+        return [
+            TraceEvent(i, i * 100, "done", i, 0, 10, rss, "x := a.b();")
+            for i, rss in enumerate([100, 500, 2000, 800, 300])
+        ]
+
+    def test_timeline_monotone_clock(self):
+        timeline = rss_timeline(self.events(), buckets=10)
+        clocks = [t for t, _v in timeline]
+        assert clocks == sorted(clocks)
+        assert len(timeline) == 10
+
+    def test_peak_preserved(self):
+        timeline = rss_timeline(self.events(), buckets=10)
+        assert max(v for _t, v in timeline) == 2000
+
+    def test_empty(self):
+        assert rss_timeline([]) == []
+        assert "empty" in render_rss_sparkline([])
+
+    def test_sparkline_shape(self):
+        text = render_rss_sparkline(self.events(), width=20)
+        assert "peak 2000 bytes" in text
+        assert "@" in text  # the peak bucket reaches the top level
+
+
+class TestOnlineToOffline:
+    def test_round_trip(self, catalog, tmp_path):
+        """An OnlineResult converts into a working offline session."""
+        from repro.core.online import OnlineResult
+        from repro.dot import plan_to_graph
+        from repro.profiler import Profiler
+
+        program = compile_sql(catalog, "select count(*) from t")
+        profiler = Profiler()
+        Interpreter(catalog, listener=profiler).run(program)
+        result = OnlineResult(
+            graph=plan_to_graph(program), space=None, painter=None,
+            events=profiler.events, dot_path=None, trace_path=None,
+            query_result=None, sampled_out=0,
+        )
+        session = result.to_offline_session()
+        session.replay.run_to_end()
+        assert session.trace_map.coverage() == 1.0
+
+    def test_no_graph_raises(self):
+        from repro.core.online import OnlineResult
+        from repro.errors import StethoscopeError
+
+        result = OnlineResult(
+            graph=None, space=None, painter=None, events=[],
+            dot_path=None, trace_path=None, query_result=None,
+            sampled_out=0,
+        )
+        with pytest.raises(StethoscopeError):
+            result.to_offline_session()
+
+
+class TestScreenshotCli:
+    def test_screenshot_command(self, catalog, tmp_path):
+        from repro.dot import plan_to_dot
+        from repro.profiler import Profiler, write_trace
+
+        program = compile_sql(
+            catalog, "select count(*) from t where x > 2"
+        )
+        profiler = Profiler()
+        Interpreter(catalog, listener=profiler).run(program)
+        dot_path = str(tmp_path / "p.dot")
+        trace_path = str(tmp_path / "t.trace")
+        with open(dot_path, "w") as f:
+            f.write(plan_to_dot(program))
+        write_trace(profiler.events, trace_path)
+        output = str(tmp_path / "shot.ppm")
+        out = io.StringIO()
+        code = main(["screenshot", dot_path, trace_path, output,
+                     "--width", "320", "--height", "240", "--gradient"],
+                    out=out)
+        assert code == 0
+        from repro.viz.raster import load_ppm
+
+        image = load_ppm(output)
+        assert (image.width, image.height) == (320, 240)

@@ -1,0 +1,110 @@
+"""Tests for the raster (PPM screenshot) backend."""
+
+import pytest
+
+from repro.dot import plan_to_graph
+from repro.errors import VizError
+from repro.layout import layout_graph
+from repro.mal.parser import parse_instruction_text
+from repro.viz import Camera, build_virtual_space
+from repro.viz.color import Color, GREEN, RED, WHITE
+from repro.viz.raster import (
+    RasterImage,
+    RasterRenderer,
+    load_ppm,
+    screenshot,
+)
+
+
+@pytest.fixture
+def space():
+    program = parse_instruction_text("""
+        X_1 := sql.mvc();
+        X_2 := sql.bind(X_1,"sys","t","x",0);
+        X_3 := algebra.select(X_2,1);
+        sql.exportResult(X_3);
+    """)
+    return build_virtual_space(layout_graph(plan_to_graph(program)))
+
+
+class TestRasterImage:
+    def test_background_white(self):
+        image = RasterImage(10, 10)
+        assert image.pixel(5, 5) == WHITE
+
+    def test_fill_rect(self):
+        image = RasterImage(10, 10)
+        image.fill_rect(2, 2, 4, 4, RED)
+        assert image.pixel(3, 3) == RED
+        assert image.pixel(6, 6) == WHITE
+
+    def test_fill_rect_clipped(self):
+        image = RasterImage(5, 5)
+        image.fill_rect(-10, -10, 100, 100, GREEN)
+        assert image.pixel(0, 0) == GREEN
+        assert image.pixel(4, 4) == GREEN
+
+    def test_outline_keeps_interior(self):
+        image = RasterImage(10, 10)
+        image.outline_rect(1, 1, 8, 8, RED)
+        assert image.pixel(1, 4) == RED
+        assert image.pixel(4, 4) == WHITE
+
+    def test_line_endpoints(self):
+        image = RasterImage(10, 10)
+        image.draw_line(0, 0, 9, 9, RED)
+        assert image.pixel(0, 0) == RED
+        assert image.pixel(9, 9) == RED
+        assert image.pixel(5, 5) == RED
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(VizError):
+            RasterImage(0, 5)
+
+    def test_ppm_roundtrip(self, tmp_path):
+        image = RasterImage(7, 3)
+        image.fill_rect(1, 1, 2, 2, RED)
+        path = str(tmp_path / "img.ppm")
+        image.save(path)
+        loaded = load_ppm(path)
+        assert loaded.width == 7 and loaded.height == 3
+        assert loaded.pixel(1, 1) == RED
+        assert loaded.pixel(6, 0) == WHITE
+
+    def test_load_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "x.ppm"
+        path.write_bytes(b"PNG nope")
+        with pytest.raises(VizError):
+            load_ppm(str(path))
+
+
+class TestRenderer:
+    def test_nodes_visible_in_render(self, space):
+        camera = Camera()
+        camera.fit(space.bounds(), 200, 150)
+        image = RasterRenderer(200, 150).render(space, camera)
+        # some pixels must be non-white (boxes and edges drawn)
+        import numpy as np
+
+        non_white = (image.pixels != 255).any(axis=2).sum()
+        assert non_white > 50
+
+    def test_colored_state_visible(self, space):
+        space.shape_of("n2").fill = RED
+        camera = Camera()
+        camera.fit(space.bounds(), 300, 200)
+        rendered = RasterRenderer(300, 200).render(space, camera)
+        import numpy as np
+
+        reds = (
+            (rendered.pixels[:, :, 0] == RED.r)
+            & (rendered.pixels[:, :, 1] == RED.g)
+        ).sum()
+        assert reds > 0
+
+    def test_screenshot_one_call(self, space, tmp_path):
+        path = str(tmp_path / "plan.ppm")
+        image = screenshot(space, path, width=320, height=240)
+        assert image.width == 320
+        loaded = load_ppm(path)
+        assert loaded.height == 240

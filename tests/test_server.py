@@ -1,0 +1,184 @@
+"""Tests for the Database facade, Mserver and MClient."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ServerError, SqlError
+from repro.profiler import Profiler, UdpReceiver
+from repro.profiler.stream import split_stream
+from repro.server import Database, MClient, Mserver
+from repro.storage import Catalog
+from repro.tpch import populate
+
+
+@pytest.fixture(scope="module")
+def database():
+    db = Database(workers=2, mitosis_threshold=50)
+    populate(db.catalog, scale_factor=0.05, seed=3)
+    return db
+
+
+class TestDatabase:
+    def test_ddl_and_insert_and_select(self):
+        db = Database()
+        db.execute("create table pets (name varchar(10), age integer)")
+        outcome = db.execute("insert into pets values ('rex', 3), ('flo', 5)")
+        assert outcome.kind == "insert" and outcome.affected == 2
+        rows = db.execute("select name from pets where age > 4").rows
+        assert rows == [("flo",)]
+
+    def test_drop_table(self):
+        db = Database()
+        db.execute("create table gone (x integer)")
+        db.execute("drop table gone")
+        with pytest.raises(Exception):
+            db.execute("select x from gone")
+
+    def test_insert_negative_literal(self):
+        db = Database()
+        db.execute("create table n (x integer)")
+        db.execute("insert into n values (-5)")
+        assert db.execute("select x from n").rows == [(-5,)]
+
+    def test_insert_non_literal_rejected(self):
+        db = Database()
+        db.execute("create table n (x integer)")
+        with pytest.raises(SqlError):
+            db.execute("insert into n values (1 + 2)")
+
+    def test_explain_returns_mal(self, database):
+        plan = database.explain(
+            "select count(*) from lineitem where l_quantity > 5"
+        )
+        assert plan.startswith("function user.")
+        assert "sql.bind" in plan
+
+    def test_dot_returns_digraph(self, database):
+        text = database.dot("select count(*) from lineitem")
+        assert text.startswith("digraph")
+
+    def test_profiler_listener_receives_events(self, database):
+        profiler = Profiler()
+        database.execute("select count(*) from region", listener=profiler)
+        assert len(profiler.events) > 0
+
+    def test_set_pipeline_validates(self, database):
+        with pytest.raises(Exception):
+            database.set_pipeline("bogus_pipe")
+
+    def test_default_pipe_parallelizes_large_scan(self, database):
+        profiler = Profiler()
+        database.execute(
+            "select count(*) from lineitem where l_quantity > 10",
+            listener=profiler,
+        )
+        threads = {e.thread for e in profiler.events}
+        assert len(threads) > 1
+
+    def test_sequential_pipe_stays_on_one_thread(self, database):
+        database.set_pipeline("sequential_pipe")
+        try:
+            profiler = Profiler()
+            database.execute(
+                "select count(*) from lineitem where l_quantity > 10",
+                listener=profiler,
+            )
+            assert {e.thread for e in profiler.events} == {0}
+        finally:
+            database.set_pipeline("default_pipe")
+
+    def test_date_values_roundtrip(self, database):
+        rows = database.execute(
+            "select min(l_shipdate) from lineitem"
+        ).rows
+        assert isinstance(rows[0][0], datetime.date)
+
+
+class TestMserverProtocol:
+    @pytest.fixture()
+    def server(self, database):
+        with Mserver(database) as srv:
+            yield srv
+
+    def test_ping(self, server):
+        with MClient(port=server.port) as client:
+            assert client.ping()
+
+    def test_query_rows(self, server):
+        with MClient(port=server.port) as client:
+            result = client.query("select count(*) from orders")
+            assert result.kind == "rows"
+            assert result.rows[0][0] > 0
+
+    def test_query_date_decoding(self, server):
+        with MClient(port=server.port) as client:
+            rows = client.query("select min(o_orderdate) from orders").rows
+            assert isinstance(rows[0][0], datetime.date)
+
+    def test_explain_and_dot(self, server):
+        with MClient(port=server.port) as client:
+            assert "sql.tid" in client.explain("select count(*) from nation")
+            assert client.dot("select count(*) from nation").startswith(
+                "digraph"
+            )
+
+    def test_sql_error_reported_not_fatal(self, server):
+        with MClient(port=server.port) as client:
+            with pytest.raises(ServerError):
+                client.query("select nope from nowhere")
+            # the connection survives the error
+            assert client.ping()
+
+    def test_set_pipeline_roundtrip(self, server):
+        with MClient(port=server.port) as client:
+            client.set_pipeline("sequential_pipe")
+            client.set_pipeline("default_pipe")
+            with pytest.raises(ServerError):
+                client.set_pipeline("warp_pipe")
+
+    def test_multiple_clients(self, server):
+        with MClient(port=server.port) as a, MClient(port=server.port) as b:
+            assert a.ping() and b.ping()
+            assert a.query("select count(*) from region").rows == \
+                b.query("select count(*) from region").rows
+
+
+class TestProfilerStreaming:
+    def test_query_streams_dot_then_trace_then_end(self, database):
+        with Mserver(database) as server, UdpReceiver() as receiver:
+            with MClient(port=server.port) as client:
+                client.set_profiler(port=receiver.port)
+                client.query("select count(*) from customer")
+            lines = list(receiver.lines(timeout=3.0))
+        dot_lines, trace_lines = split_stream(lines)
+        assert dot_lines and dot_lines[0].startswith("digraph")
+        assert trace_lines
+        from repro.profiler import parse_event
+
+        first = parse_event(trace_lines[0])
+        assert first.status == "start"
+
+    def test_filter_options_respected(self, database):
+        with Mserver(database) as server, UdpReceiver() as receiver:
+            with MClient(port=server.port) as client:
+                client.set_profiler(
+                    port=receiver.port,
+                    filter_options={"statuses": ["done"]},
+                )
+                client.query("select count(*) from customer")
+            lines = list(receiver.lines(timeout=3.0))
+        _dot, trace_lines = split_stream(lines)
+        from repro.profiler import parse_event
+
+        statuses = {parse_event(line).status for line in trace_lines}
+        assert statuses == {"done"}
+
+    def test_profiler_off_stops_stream(self, database):
+        with Mserver(database) as server, UdpReceiver() as receiver:
+            with MClient(port=server.port) as client:
+                client.set_profiler(port=receiver.port)
+                client.profiler_off()
+                client.query("select count(*) from region")
+                line = receiver.try_line(timeout=0.3)
+        assert line is None

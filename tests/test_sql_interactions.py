@@ -1,0 +1,121 @@
+"""Interaction tests: HAVING×ORDER BY, ordered subqueries, DISTINCT over
+joins — combinations where plan stages must compose correctly."""
+
+import pytest
+
+from repro.mal import Interpreter
+from repro.sqlfe import compile_sql
+from repro.storage import Catalog, INT, STR
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    sales = cat.schema().create_table(
+        "sales", [("region", STR), ("amount", INT)]
+    )
+    sales.insert_many([
+        ["north", 10], ["north", 30], ["south", 5], ["south", 7],
+        ["east", 100], ["east", 1], ["west", 2],
+    ])
+    return cat
+
+
+def run(catalog, sql):
+    return Interpreter(catalog).run(compile_sql(catalog, sql)).rows()
+
+
+class TestHavingOrderingInterplay:
+    def test_having_then_order_by_aggregate(self, catalog):
+        rows = run(
+            catalog,
+            "select region, sum(amount) as s from sales group by region "
+            "having count(*) > 1 order by s desc",
+        )
+        assert rows == [("east", 101), ("north", 40), ("south", 12)]
+
+    def test_having_then_order_by_position(self, catalog):
+        rows = run(
+            catalog,
+            "select region, sum(amount) from sales group by region "
+            "having sum(amount) > 11 order by 2",
+        )
+        assert rows == [("south", 12), ("north", 40), ("east", 101)]
+
+    def test_having_then_order_by_key_not_in_output(self, catalog):
+        rows = run(
+            catalog,
+            "select sum(amount) from sales group by region "
+            "having count(*) > 1 order by region",
+        )
+        assert rows == [(101,), (40,), (12,)]
+
+    def test_having_order_limit_offset(self, catalog):
+        rows = run(
+            catalog,
+            "select region, sum(amount) as s from sales group by region "
+            "having sum(amount) > 5 order by s desc limit 2 offset 1",
+        )
+        assert rows == [("north", 40), ("south", 12)]
+
+
+class TestSubqueryComposition:
+    def test_ordered_limited_subquery(self, catalog):
+        # top-2 regions by total, then select their rows
+        rows = run(
+            catalog,
+            "select region, amount from sales where region in "
+            "(select region from sales group by region "
+            " order by sum(amount) desc limit 2) "
+            "order by region, amount",
+        )
+        assert rows == [
+            ("east", 1), ("east", 100), ("north", 10), ("north", 30),
+        ]
+
+    def test_subquery_with_distinct(self, catalog):
+        rows = run(
+            catalog,
+            "select count(*) from sales where region in "
+            "(select distinct region from sales where amount > 9)",
+        )
+        assert rows == [(4,)]  # north(2) + east(2)
+
+    def test_nested_scalar_inside_in_subquery(self, catalog):
+        # regions whose total beats the global mean amount
+        rows = run(
+            catalog,
+            "select region from sales where region in "
+            "(select region from sales group by region "
+            " having sum(amount) > (select avg(amount) from sales)) "
+            "group by region order by region",
+        )
+        # mean amount = 155/7 ~ 22.1; totals: east=101, north=40,
+        # south=12, west=2
+        assert rows == [("east",), ("north",)]
+
+
+class TestDistinctOverJoin:
+    def test_distinct_join_output(self, catalog):
+        cat = catalog
+        regions = cat.schema().create_table(
+            "regions", [("name", STR), ("zone", STR)]
+        )
+        regions.insert_many([
+            ["north", "cold"], ["south", "hot"], ["east", "hot"],
+            ["west", "cold"],
+        ])
+        rows = run(
+            cat,
+            "select distinct zone from sales, regions "
+            "where region = name order by zone",
+        )
+        assert rows == [("cold",), ("hot",)]
+
+    def test_order_by_expression_of_output(self, catalog):
+        rows = run(
+            catalog,
+            "select region, sum(amount) as s from sales group by region "
+            "order by sum(amount) * -1",
+        )
+        assert [r[0] for r in rows] == ["east", "north", "south", "west"]

@@ -1,0 +1,117 @@
+"""Unit tests for MAL atom types and literal parsing/formatting."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage import types as t
+
+
+class TestTypeLookup:
+    def test_known_types(self):
+        for name in ("bit", "int", "lng", "flt", "dbl", "str", "oid", "date"):
+            assert t.type_by_name(name).name == name
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.type_by_name("blob")
+
+
+class TestCasting:
+    def test_int_from_string(self):
+        assert t.cast_value("42", t.INT) == 42
+
+    def test_int_from_float_integral(self):
+        assert t.cast_value(3.0, t.INT) == 3
+
+    def test_int_from_float_fractional_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.cast_value(3.5, t.INT)
+
+    def test_dbl_from_int(self):
+        value = t.cast_value(7, t.DBL)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_bit_from_strings(self):
+        assert t.cast_value("true", t.BIT) is True
+        assert t.cast_value("F", t.BIT) is False
+
+    def test_bit_garbage_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.cast_value("maybe", t.BIT)
+
+    def test_str_from_number(self):
+        assert t.cast_value(12, t.STR) == "12"
+
+    def test_oid_negative_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.cast_value(-1, t.OID)
+
+    def test_date_from_iso_string(self):
+        assert t.cast_value("1994-01-01", t.DATE) == datetime.date(1994, 1, 1)
+
+    def test_nil_passes_through_any_type(self):
+        for mal_type in (t.INT, t.STR, t.DATE, t.BIT):
+            assert t.cast_value(t.nil, mal_type) is t.nil
+
+
+class TestInference:
+    def test_bool_is_bit_not_int(self):
+        assert t.infer_type(True) is t.BIT
+
+    def test_int_dbl_str_date(self):
+        assert t.infer_type(1) is t.INT
+        assert t.infer_type(1.5) is t.DBL
+        assert t.infer_type("x") is t.STR
+        assert t.infer_type(datetime.date(2000, 1, 1)) is t.DATE
+
+    def test_nil_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.infer_type(None)
+
+
+class TestPromotion:
+    def test_int_lng(self):
+        assert t.promote(t.INT, t.LNG) is t.LNG
+
+    def test_lng_dbl(self):
+        assert t.promote(t.LNG, t.DBL) is t.DBL
+
+    def test_same(self):
+        assert t.promote(t.INT, t.INT) is t.INT
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.promote(t.STR, t.INT)
+
+
+class TestLiterals:
+    def test_parse_nil(self):
+        assert t.parse_value("nil") is t.nil
+
+    def test_parse_int_then_dbl_then_str(self):
+        assert t.parse_value("10") == 10
+        assert t.parse_value("10.5") == 10.5
+        assert t.parse_value("hello") == "hello"
+
+    def test_parse_quoted_string(self):
+        assert t.parse_value('"a b"') == "a b"
+
+    def test_parse_bools(self):
+        assert t.parse_value("true") is True
+        assert t.parse_value("false") is False
+
+    def test_parse_with_explicit_type(self):
+        assert t.parse_value("7", t.DBL) == 7.0
+
+    def test_format_roundtrip_string_with_quotes(self):
+        original = 'he said "hi"\nbye'
+        assert t.parse_value(t.format_value(original)) == original
+
+    def test_format_nil_and_bool(self):
+        assert t.format_value(t.nil) == "nil"
+        assert t.format_value(True) == "true"
+
+    def test_format_date_quoted(self):
+        assert t.format_value(datetime.date(1998, 12, 1)) == '"1998-12-01"'

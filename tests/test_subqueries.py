@@ -1,0 +1,196 @@
+"""Tests for uncorrelated subqueries: IN (SELECT ...) and scalar
+subqueries."""
+
+import pytest
+
+from repro.errors import BindError, MalRuntimeError, SqlError
+from repro.mal import Interpreter
+from repro.mal.optimizer import sequential_pipe
+from repro.sqlfe import compile_sql, parse_sql
+from repro.sqlfe.ast import InSubquery, ScalarSubquery
+from repro.storage import Catalog, INT, STR
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    orders = cat.schema().create_table(
+        "orders", [("o_id", INT), ("o_cust", INT), ("o_total", INT)]
+    )
+    orders.insert_many([
+        [1, 10, 100], [2, 20, 250], [3, 10, 50], [4, 30, 300], [5, 20, 120],
+    ])
+    vip = cat.schema().create_table("vip", [("v_cust", INT)])
+    vip.insert_many([[10], [30]])
+    cat.schema().create_table("empty", [("e_x", INT)])
+    return cat
+
+
+def run(catalog, sql):
+    program = compile_sql(catalog, sql)
+    return Interpreter(catalog).run(program).rows()
+
+
+class TestParsing:
+    def test_in_subquery_parsed(self):
+        stmt = parse_sql(
+            "select a from t where a in (select b from u)"
+        )
+        assert isinstance(stmt.where, InSubquery)
+        assert not stmt.where.negated
+
+    def test_not_in_subquery(self):
+        stmt = parse_sql(
+            "select a from t where a not in (select b from u)"
+        )
+        assert stmt.where.negated
+
+    def test_scalar_subquery_parsed(self):
+        stmt = parse_sql(
+            "select a from t where a > (select max(b) from u)"
+        )
+        assert isinstance(stmt.where.right, ScalarSubquery)
+
+    def test_plain_in_list_still_works(self):
+        from repro.sqlfe.ast import InList
+
+        stmt = parse_sql("select a from t where a in (1, 2)")
+        assert isinstance(stmt.where, InList)
+
+
+class TestInSubquery:
+    def test_basic_semijoin(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust in (select v_cust from vip)",
+        )
+        assert rows == [(1,), (3,), (4,)]
+
+    def test_not_in(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust not in (select v_cust from vip)",
+        )
+        assert rows == [(2,), (5,)]
+
+    def test_in_empty_subquery(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust in (select e_x from empty)",
+        )
+        assert rows == []
+
+    def test_subquery_with_filter(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders where o_cust in "
+            "(select v_cust from vip where v_cust > 20)",
+        )
+        assert rows == [(4,)]
+
+    def test_subquery_with_group_by_having(self, catalog):
+        # customers with more than one order
+        rows = run(
+            catalog,
+            "select o_id from orders where o_cust in "
+            "(select o_cust from orders group by o_cust "
+            " having count(*) > 1) order by o_id",
+        )
+        assert rows == [(1,), (2,), (3,), (5,)]
+
+    def test_combined_with_other_predicates(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust in (select v_cust from vip) and o_total > 60",
+        )
+        assert rows == [(1,), (4,)]
+
+    def test_multicolumn_subquery_rejected(self, catalog):
+        with pytest.raises(SqlError):
+            run(
+                catalog,
+                "select o_id from orders "
+                "where o_cust in (select v_cust, v_cust from vip)",
+            )
+
+    def test_correlated_subquery_rejected(self, catalog):
+        with pytest.raises(BindError):
+            run(
+                catalog,
+                "select o_id from orders "
+                "where o_cust in (select v_cust from vip "
+                "where v_cust = o_total)",
+            )
+
+
+class TestScalarSubquery:
+    def test_aggregate_comparison(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_total > (select avg(o_total) from orders)",
+        )
+        assert rows == [(2,), (4,)]  # avg = 164
+
+    def test_scalar_in_select_list(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id, (select max(o_total) from orders) from orders "
+            "where o_id = 1",
+        )
+        assert rows == [(1, 300)]
+
+    def test_single_row_non_aggregate(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust = (select v_cust from vip where v_cust = 10)",
+        )
+        assert rows == [(1,), (3,)]
+
+    def test_empty_scalar_subquery_is_null(self, catalog):
+        rows = run(
+            catalog,
+            "select o_id from orders "
+            "where o_cust = (select e_x from empty)",
+        )
+        assert rows == []  # comparison with nil matches nothing
+
+    def test_multirow_scalar_subquery_errors(self, catalog):
+        with pytest.raises(MalRuntimeError):
+            run(
+                catalog,
+                "select o_id from orders "
+                "where o_cust = (select v_cust from vip)",
+            )
+
+    def test_scalar_subquery_in_having(self, catalog):
+        rows = run(
+            catalog,
+            "select o_cust, sum(o_total) as s from orders group by o_cust "
+            "having sum(o_total) > (select avg(o_total) from orders) "
+            "order by o_cust",
+        )
+        # avg(o_total) = 164; customer 10 sums to 150 and drops out
+        assert rows == [(20, 370), (30, 300)]
+
+
+class TestOptimizersAndSubqueries:
+    def test_sequential_pipe_preserves_answer(self, catalog):
+        sql = ("select o_id from orders "
+               "where o_cust in (select v_cust from vip)")
+        plain = run(catalog, sql)
+        optimized = sequential_pipe().apply(compile_sql(catalog, sql))
+        assert Interpreter(catalog).run(optimized).rows() == plain
+
+    def test_plan_contains_contains_op(self, catalog):
+        sql = ("select o_id from orders "
+               "where o_cust in (select v_cust from vip)")
+        program = compile_sql(catalog, sql)
+        assert any(
+            i.qualified_name == "batcalc.contains" for i in program
+        )
