@@ -64,6 +64,17 @@ def main() -> None:
     session.save_svg("quickstart_display.svg")
     print("\nwrote quickstart_display.svg")
 
+    # 9. everything above left a trail in the engine metrics
+    #    (`python -m repro metrics`; see docs/metrics_reference.md)
+    import repro.metrics as metrics
+
+    snap = metrics.snapshot()
+    executed = sum(
+        s["value"] for s in snap["repro_mal_instructions_total"]["samples"]
+    )
+    print(f"\nengine metrics: {executed:.0f} MAL instructions executed, "
+          f"{len(snap)} metric families registered")
+
 
 if __name__ == "__main__":
     main()

@@ -29,7 +29,9 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.dot`, :mod:`repro.layout`, :mod:`repro.svg` — the
   GraphViz-like plan drawing pipeline;
 * :mod:`repro.viz` — the ZVTM-like zoomable glyph toolkit;
-* :mod:`repro.tpch`, :mod:`repro.workloads` — workloads.
+* :mod:`repro.tpch`, :mod:`repro.workloads` — workloads;
+* :mod:`repro.metrics` — engine-wide counters/gauges/histograms
+  (see docs/metrics_reference.md and docs/operations.md).
 """
 
 from repro.core import (

@@ -10,6 +10,8 @@ Subcommands mirror how the paper's tools are operated:
 ``offline``    open a dot + trace file pair, replay, and report
 ``analyze``    micro-analysis table of a trace file
 ``datagen``    generate a TPC-H catalog and save it to disk
+``metrics``    engine metrics in text exposition format (local registry,
+               or a running server's via ``--port``)
 =============  =========================================================
 """
 
@@ -95,6 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
     datagen.add_argument("path")
     datagen.add_argument("--scale", type=float, default=0.1)
     datagen.add_argument("--seed", type=int, default=19920101)
+
+    metrics = commands.add_parser(
+        "metrics", help="dump engine metrics (text exposition format)"
+    )
+    metrics.add_argument("--port", type=int, default=None,
+                         help="fetch from a running Mserver via the "
+                              "'stats' protocol verb instead of dumping "
+                              "this process's registry")
+    metrics.add_argument("--host", default="127.0.0.1")
 
     return parser
 
@@ -264,6 +275,19 @@ def _cmd_datagen(args, out) -> int:
     return 0
 
 
+def _cmd_metrics(args, out) -> int:
+    from repro.metrics import render_snapshot, render_text
+
+    if args.port is None:
+        out.write(render_text())
+        return 0
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        out.write(render_snapshot(client.stats()))
+    return 0
+
+
 _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
@@ -272,6 +296,7 @@ _COMMANDS = {
     "screenshot": _cmd_screenshot,
     "analyze": _cmd_analyze,
     "datagen": _cmd_datagen,
+    "metrics": _cmd_metrics,
 }
 
 

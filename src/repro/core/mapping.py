@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.dot.graph import Digraph
 from repro.errors import MappingError
+from repro.metrics.families import MAPPING_LOOKUPS
 from repro.profiler.events import TraceEvent
 
 _NODE_RE = re.compile(r"^n(\d+)$")
@@ -47,13 +48,17 @@ class PlanTraceMap:
         self.graph = graph
         self.events = list(events)
         self._by_node: Dict[str, List[TraceEvent]] = {}
+        hits = 0
         for event in self.events:
             node_id = node_for_pc(event.pc)
             if not graph.has_node(node_id):
+                MAPPING_LOOKUPS.labels(result="hit").inc(hits)
+                MAPPING_LOOKUPS.labels(result="miss").inc()
                 raise MappingError(
                     f"trace event pc={event.pc} has no node {node_id!r} "
                     "in the dot file — trace/plan mismatch?"
                 )
+            hits += 1
             if strict_labels:
                 label = graph.node(node_id).label
                 if label and event.stmt and label != event.stmt:
@@ -62,6 +67,8 @@ class PlanTraceMap:
                         f"{event.stmt!r} vs {label!r}"
                     )
             self._by_node.setdefault(node_id, []).append(event)
+        if hits:
+            MAPPING_LOOKUPS.labels(result="hit").inc(hits)
 
     # ------------------------------------------------------------------
 

@@ -30,6 +30,11 @@ from repro.dot.graph import Digraph
 from repro.dot.parser import parse_dot
 from repro.errors import StethoscopeError
 from repro.layout import layout_graph
+from repro.metrics.families import (
+    ONLINE_EVENTS,
+    ONLINE_RUNS,
+    ONLINE_SAMPLED_OUT,
+)
 from repro.profiler.events import TraceEvent
 from repro.viz.color import GREEN
 from repro.viz.events import EventDispatchQueue
@@ -102,6 +107,7 @@ class OnlineSession:
             StethoscopeError: when the stream never ends within the
                 timeout and no END marker was seen.
         """
+        ONLINE_RUNS.inc()
         stop = threading.Event()
         query_out: List[Any] = []
         query_err: List[BaseException] = []
@@ -150,6 +156,8 @@ class OnlineSession:
                 progress = ProgressWindow(plan_size=graph.node_count())
             new_events = self.connection.events[consumed:]
             consumed += len(new_events)
+            if new_events:
+                ONLINE_EVENTS.inc(len(new_events))
             for event in new_events:
                 if progress is not None:
                     progress.observe(event)
@@ -207,4 +215,6 @@ class OnlineSession:
                 dropped += 1
                 continue
             painter.apply(action)
+        if dropped:
+            ONLINE_SAMPLED_OUT.inc(dropped)
         return dropped

@@ -38,6 +38,7 @@ from repro.mal.interpreter import (
     InstructionRun,
     RunListener,
     execute_instruction,
+    record_execution,
 )
 from repro.mal.printer import format_instruction
 from repro.storage.bat import BAT
@@ -138,6 +139,7 @@ class SimulatedScheduler:
                         heapq.heappush(ready, (ready_time[succ], succ))
         self._emit_stream(runs)
         total_usec = max((r.end_usec for r in runs), default=0)
+        record_execution("simulated", runs, workers, total_usec)
         return ExecutionResult(result_sets=ctx.result_sets, runs=runs,
                                total_usec=total_usec,
                                affected_rows=ctx.affected_rows)
@@ -288,6 +290,7 @@ class ThreadedScheduler:
             raise failure[0]
         runs.sort(key=lambda r: (r.start_usec, r.pc))
         total_usec = max((r.end_usec for r in runs), default=0)
+        record_execution("threaded", runs, workers, total_usec)
         return ExecutionResult(result_sets=ctx.result_sets, runs=runs,
                                total_usec=total_usec,
                                affected_rows=ctx.affected_rows)

@@ -25,6 +25,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import MalRuntimeError
 from repro.mal.ast import Const, MalInstruction, MalProgram, Var
 from repro.mal.modules import lookup
+from repro.metrics.families import (
+    MAL_EXECUTIONS,
+    MAL_INSTRUCTIONS,
+    MAL_INSTRUCTION_USEC,
+    MAL_WORKER_UTILIZATION,
+)
 from repro.storage.bat import BAT
 from repro.storage.catalog import Catalog
 
@@ -172,6 +178,33 @@ class ExecutionResult:
         return self.first.rows() if self.first else []
 
 
+def record_execution(scheduler: str, runs: Sequence[InstructionRun],
+                     workers: int, total_usec: int) -> None:
+    """Feed one finished program run into the engine metrics.
+
+    Called by every execution engine (interpreter and both dataflow
+    schedulers) after the run completes, so the per-instruction hot loop
+    stays free of metric updates.  Records instruction counts and
+    modelled durations per MAL module, plus the run's worker
+    utilisation — busy time over ``workers x makespan`` — whose low end
+    flags poorly parallelised plans.
+    """
+    MAL_EXECUTIONS.labels(scheduler=scheduler).inc()
+    instructions = MAL_INSTRUCTIONS
+    durations = MAL_INSTRUCTION_USEC
+    per_module: Dict[str, List[int]] = {}
+    for run in runs:
+        per_module.setdefault(run.module, []).append(run.usec)
+    busy = 0
+    for module, usecs in per_module.items():
+        instructions.labels(module).inc(len(usecs))
+        durations.labels(module).observe_many(usecs)
+        busy += sum(usecs)
+    if runs and workers > 0 and total_usec > 0:
+        utilization = 100.0 * busy / (workers * total_usec)
+        MAL_WORKER_UTILIZATION.observe(min(100.0, utilization))
+
+
 def execute_instruction(ctx: EvalContext, instr: MalInstruction) -> Tuple[list, list]:
     """Evaluate one instruction in ``ctx``; returns (inputs, outputs).
 
@@ -261,6 +294,7 @@ class Interpreter:
             runs.append(done_run)
             if self.listener is not None:
                 self.listener("done", done_run)
+        record_execution("interpreter", runs, 1, clock)
         return ExecutionResult(
             result_sets=ctx.result_sets, runs=runs, total_usec=clock,
             affected_rows=ctx.affected_rows,

@@ -1,0 +1,191 @@
+"""Every metric family the engine ships, declared in one place.
+
+Centralising the declarations keeps the catalog discoverable (importing
+:mod:`repro.metrics` registers everything, so ``python -m repro
+metrics`` lists the full family set even in a fresh process) and lets
+the docs-consistency gate in ``tests/test_docs.py`` verify that
+``docs/metrics_reference.md`` documents *exactly* this set.
+
+Subsystems import the family objects below and update them from their
+hot paths; see the reference document for which code path moves which
+family.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.core import REGISTRY
+
+# --------------------------------------------------------------------------
+# repro.server.mserver — the TCP front door
+# --------------------------------------------------------------------------
+
+SERVER_CONNECTIONS = REGISTRY.counter(
+    "repro_server_connections_total",
+    "TCP client connections accepted by the Mserver.",
+    unit="connections",
+)
+
+SERVER_CONNECTIONS_ACTIVE = REGISTRY.gauge(
+    "repro_server_connections_active",
+    "Client connections currently being served.",
+    unit="connections",
+)
+
+SERVER_REQUESTS = REGISTRY.counter(
+    "repro_server_requests_total",
+    "Protocol requests handled, by op (ping, query, explain, dot, set, "
+    "profiler, stats, quit).",
+    labels=("op",),
+    unit="requests",
+)
+
+SERVER_REQUEST_ERRORS = REGISTRY.counter(
+    "repro_server_request_errors_total",
+    "Requests that returned an error response, by op.",
+    labels=("op",),
+    unit="requests",
+)
+
+SERVER_QUERY_USEC = REGISTRY.histogram(
+    "repro_server_query_usec",
+    "Wall-clock latency of query ops as served (includes queueing on "
+    "the execution lock).",
+    unit="usec",
+    buckets=(100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+             10_000_000.0),
+)
+
+# --------------------------------------------------------------------------
+# repro.mal — interpreter and dataflow schedulers
+# --------------------------------------------------------------------------
+
+MAL_EXECUTIONS = REGISTRY.counter(
+    "repro_mal_executions_total",
+    "MAL programs executed, by scheduler (interpreter, simulated, "
+    "threaded).",
+    labels=("scheduler",),
+    unit="programs",
+)
+
+MAL_INSTRUCTIONS = REGISTRY.counter(
+    "repro_mal_instructions_total",
+    "MAL instructions executed, by module.",
+    labels=("module",),
+    unit="instructions",
+)
+
+MAL_INSTRUCTION_USEC = REGISTRY.histogram(
+    "repro_mal_instruction_usec",
+    "Modelled (virtual-clock) instruction durations, by module.",
+    labels=("module",),
+    unit="usec",
+    buckets=(1.0, 5.0, 25.0, 100.0, 500.0, 2_500.0, 10_000.0, 100_000.0),
+)
+
+MAL_WORKER_UTILIZATION = REGISTRY.histogram(
+    "repro_mal_worker_utilization_percent",
+    "Per-run worker utilisation: busy usec / (workers x makespan), as a "
+    "percentage. Low values on multi-worker runs flag poorly "
+    "parallelised plans (the paper's sequential anomaly).",
+    unit="percent",
+    buckets=(10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
+)
+
+# --------------------------------------------------------------------------
+# repro.profiler.stream — the UDP trace stream
+# --------------------------------------------------------------------------
+
+UDP_DATAGRAMS_SENT = REGISTRY.counter(
+    "repro_udp_datagrams_sent_total",
+    "Datagrams shipped by UdpEmitter, by line kind (event, dot, end).",
+    labels=("kind",),
+    unit="datagrams",
+)
+
+UDP_BYTES_SENT = REGISTRY.counter(
+    "repro_udp_bytes_sent_total",
+    "Payload bytes shipped by UdpEmitter.",
+    unit="bytes",
+)
+
+UDP_SEND_ERRORS = REGISTRY.counter(
+    "repro_udp_send_errors_total",
+    "Datagrams dropped because sendto failed (unreachable receiver, "
+    "closed socket). The stream is lossy by design; this counts the "
+    "losses the sender can see.",
+    unit="datagrams",
+)
+
+UDP_DATAGRAMS_RECEIVED = REGISTRY.counter(
+    "repro_udp_datagrams_received_total",
+    "Datagrams drained off the socket by UdpReceiver.",
+    unit="datagrams",
+)
+
+UDP_RECEIVE_BACKLOG = REGISTRY.gauge(
+    "repro_udp_receive_backlog",
+    "Lines sitting in the UdpReceiver queue, waiting for the consumer.",
+    unit="lines",
+)
+
+# --------------------------------------------------------------------------
+# repro.core.online / repro.core.mapping — the online monitor
+# --------------------------------------------------------------------------
+
+ONLINE_RUNS = REGISTRY.counter(
+    "repro_online_runs_total",
+    "Online monitoring sessions started.",
+    unit="runs",
+)
+
+ONLINE_EVENTS = REGISTRY.counter(
+    "repro_online_events_total",
+    "Trace events consumed by the online monitor.",
+    unit="events",
+)
+
+ONLINE_SAMPLED_OUT = REGISTRY.counter(
+    "repro_online_sampled_out_total",
+    "Colour actions dropped by backlog-triggered sampling (GREEN "
+    "repaints shed while the render queue is saturated).",
+    unit="actions",
+)
+
+MAPPING_LOOKUPS = REGISTRY.counter(
+    "repro_mapping_lookups_total",
+    "Trace-event pc to dot-node mappings, by result (hit, miss). A miss "
+    "means the trace and plan do not belong together.",
+    labels=("result",),
+    unit="lookups",
+)
+
+# --------------------------------------------------------------------------
+# repro.viz.events — the render queue
+# --------------------------------------------------------------------------
+
+RENDER_TASKS_POSTED = REGISTRY.counter(
+    "repro_render_tasks_posted_total",
+    "Render tasks posted to the event-dispatch queue.",
+    unit="tasks",
+)
+
+RENDER_TASKS_EXECUTED = REGISTRY.counter(
+    "repro_render_tasks_executed_total",
+    "Render tasks actually executed by the queue.",
+    unit="tasks",
+)
+
+RENDER_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_render_queue_depth",
+    "Render tasks waiting in the event-dispatch queue (the backlog the "
+    "online sampler watches).",
+    unit="tasks",
+)
+
+RENDER_QUEUE_WAIT_MS = REGISTRY.histogram(
+    "repro_render_queue_wait_ms",
+    "Queue latency per executed render task (execution minus posting, "
+    "on the queue's clock).",
+    unit="ms",
+    buckets=(1.0, 10.0, 50.0, 150.0, 500.0, 1_500.0, 5_000.0),
+)

@@ -1,0 +1,89 @@
+"""Periodic metrics reporting: a background thread snapshotting the
+registry on a fixed interval.
+
+Benches and long-running servers use this to watch counters move without
+polling by hand::
+
+    with PeriodicReporter(interval_s=0.5) as reporter:
+        ...  # run the workload
+    print(len(reporter.snapshots), "snapshots collected")
+
+A ``sink`` callable receives each snapshot dict; without one, snapshots
+accumulate on :attr:`PeriodicReporter.snapshots`.  Pass a text stream as
+``stream`` to get the text exposition written periodically instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.metrics.core import REGISTRY, Registry, render_snapshot
+
+SnapshotSink = Callable[[Dict[str, Any]], None]
+
+
+class PeriodicReporter:
+    """Snapshots a registry every ``interval_s`` seconds on a daemon
+    thread until stopped.
+
+    Args:
+        interval_s: seconds between snapshots.
+        sink: callable receiving each snapshot dict.
+        stream: text stream to write the exposition to instead.
+        registry: registry to observe (the process default when omitted).
+    """
+
+    def __init__(self, interval_s: float = 1.0,
+                 sink: Optional[SnapshotSink] = None,
+                 stream=None,
+                 registry: Registry = REGISTRY) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self.registry = registry
+        self.snapshots: List[Dict[str, Any]] = []
+        self._sink = sink
+        self._stream = stream
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def _report_once(self) -> None:
+        snapshot = self.registry.snapshot()
+        if self._sink is not None:
+            self._sink(snapshot)
+        elif self._stream is not None:
+            self._stream.write(render_snapshot(snapshot))
+            self._stream.flush()
+        else:
+            self.snapshots.append(snapshot)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._report_once()
+
+    def start(self) -> "PeriodicReporter":
+        """Start the reporter thread."""
+        if self._thread is not None:
+            raise RuntimeError("reporter already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, final_report: bool = True) -> None:
+        """Stop the thread; takes one last snapshot by default."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if final_report:
+            self._report_once()
+
+    def __enter__(self) -> "PeriodicReporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

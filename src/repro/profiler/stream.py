@@ -16,6 +16,13 @@ import threading
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ProfilerError
+from repro.metrics.families import (
+    UDP_BYTES_SENT,
+    UDP_DATAGRAMS_RECEIVED,
+    UDP_DATAGRAMS_SENT,
+    UDP_RECEIVE_BACKLOG,
+    UDP_SEND_ERRORS,
+)
 from repro.profiler.events import TraceEvent, format_event
 
 #: Line prefix framing dot-file content inside the UDP stream.
@@ -35,13 +42,36 @@ class UdpEmitter:
     def __init__(self, host: str = "127.0.0.1", port: int = 50010) -> None:
         self.address = (host, port)
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        # children resolved once; send_line stays two counter bumps
+        self._sent = {kind: UDP_DATAGRAMS_SENT.labels(kind=kind)
+                      for kind in ("event", "dot", "end")}
+        self._bytes = UDP_BYTES_SENT
+        self._errors = UDP_SEND_ERRORS
 
     def __call__(self, event: TraceEvent) -> None:
         self.send_line(format_event(event))
 
     def send_line(self, line: str) -> None:
-        """Send one raw line as a datagram."""
-        self._socket.sendto(line.encode("utf-8"), self.address)
+        """Send one raw line as a datagram.
+
+        A failing ``sendto`` (unreachable receiver, closed socket) drops
+        the datagram and counts it in ``repro_udp_send_errors_total`` —
+        the stream is lossy by design, like the real profiler's.
+        """
+        payload = line.encode("utf-8")
+        try:
+            self._socket.sendto(payload, self.address)
+        except OSError:
+            self._errors.inc()
+            return
+        if line.startswith(DOT_PREFIX):
+            kind = "dot"
+        elif line == END_MARKER:
+            kind = "end"
+        else:
+            kind = "event"
+        self._sent[kind].inc()
+        self._bytes.inc(len(payload))
 
     def send_dot(self, dot_text: str) -> None:
         """Ship a dot file over the stream, one framed line per datagram."""
@@ -97,6 +127,8 @@ class UdpReceiver:
             except OSError:
                 break
             self._queue.put(datagram.decode("utf-8", errors="replace"))
+            UDP_DATAGRAMS_RECEIVED.inc()
+            UDP_RECEIVE_BACKLOG.set(self._queue.qsize())
         self._queue.put(None)
 
     def lines(self, timeout: float = 5.0) -> Iterator[str]:
@@ -110,6 +142,7 @@ class UdpReceiver:
                 line = self._queue.get(timeout=timeout)
             except queue.Empty:
                 return
+            UDP_RECEIVE_BACKLOG.set(self._queue.qsize())
             if line is None:
                 return
             if line == END_MARKER:
@@ -122,6 +155,7 @@ class UdpReceiver:
             line = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
+        UDP_RECEIVE_BACKLOG.set(self._queue.qsize())
         return line
 
     def close(self) -> None:

@@ -55,6 +55,15 @@ class MClient:
         """Liveness check."""
         return bool(self._call({"op": "ping"}).get("pong"))
 
+    def stats(self) -> Dict[str, Any]:
+        """The server's engine-metrics snapshot (the ``stats`` verb).
+
+        Returns the plain dict form of every metric family in the
+        server's ``repro.metrics`` registry; render it locally with
+        :func:`repro.metrics.render_snapshot`, or see
+        ``docs/metrics_reference.md`` for the families."""
+        return self._call({"op": "stats"})["metrics"]
+
     def query(self, sql: str) -> "MClient.Result":
         """Execute one SQL statement."""
         return MClient.Result(self._call({"op": "query", "sql": sql}))

@@ -12,9 +12,18 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Dict, Optional
 
 from repro.errors import ReproError, ServerError
+from repro.metrics import snapshot as metrics_snapshot
+from repro.metrics.families import (
+    SERVER_CONNECTIONS,
+    SERVER_CONNECTIONS_ACTIVE,
+    SERVER_QUERY_USEC,
+    SERVER_REQUESTS,
+    SERVER_REQUEST_ERRORS,
+)
 from repro.profiler.events import TraceEvent
 from repro.profiler.filters import EventFilter
 from repro.profiler.profiler import Profiler
@@ -94,6 +103,8 @@ class Mserver:
     def _handle_client(self, client: socket.socket) -> None:
         session = _ClientSession(self)
         buffered = b""
+        SERVER_CONNECTIONS.inc()
+        SERVER_CONNECTIONS_ACTIVE.inc()
         try:
             client.settimeout(30.0)
             while not self._stopping.is_set():
@@ -105,20 +116,27 @@ class Mserver:
                 line, buffered = buffered.split(b"\n", 1)
                 if not line.strip():
                     continue
+                op = "invalid"
                 try:
                     request = decode_message(line)
+                    if request.get("op") is not None:
+                        op = str(request["op"])
                     response = session.handle(request)
                 except ReproError as exc:
                     response = {"ok": False, "error": str(exc)}
                 except Exception as exc:  # surface, do not kill server
                     response = {"ok": False,
                                 "error": f"internal error: {exc}"}
+                SERVER_REQUESTS.labels(op=op).inc()
+                if not response.get("ok"):
+                    SERVER_REQUEST_ERRORS.labels(op=op).inc()
                 client.sendall(encode_message(response))
                 if response.get("bye"):
                     return
         except OSError:
             return
         finally:
+            SERVER_CONNECTIONS_ACTIVE.dec()
             session.close()
             client.close()
 
@@ -144,6 +162,8 @@ class _ClientSession:
             return {"ok": True, "pong": True}
         if op == "quit":
             return {"ok": True, "bye": True}
+        if op == "stats":
+            return {"ok": True, "metrics": metrics_snapshot()}
         if op == "set":
             return self._handle_set(request)
         if op == "profiler":
@@ -192,6 +212,7 @@ class _ClientSession:
     def _handle_query(self, request: Dict) -> Dict:
         sql = request.get("sql", "")
         database = self.server.database
+        began = time.perf_counter()
         with self.server._lock:
             if self.emitter is None:
                 outcome = database.execute(sql)
@@ -204,6 +225,7 @@ class _ClientSession:
                     self.emitter.send_dot(database.dot(sql))
                 outcome = database.execute(sql, listener=profiler)
                 self.emitter.send_end()
+        SERVER_QUERY_USEC.observe((time.perf_counter() - began) * 1e6)
         response = {"ok": True, "kind": outcome.kind,
                     "affected": outcome.affected}
         if outcome.kind == "rows":

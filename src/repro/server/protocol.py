@@ -11,6 +11,9 @@ One JSON object per line in each direction.  Requests carry an ``op``:
 ``profiler`` stream trace events (and dot files) to a UDP endpoint;
              carries optional filter options (statuses, modules,
              min_usec)
+``stats``    engine metrics snapshot → ``{"ok": true, "metrics":
+             {...}}`` — every family in the ``repro.metrics`` registry
+             (see ``docs/metrics_reference.md``)
 ``quit``     close the connection
 ===========  ==========================================================
 

@@ -18,6 +18,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 
+from repro.metrics.families import (
+    RENDER_QUEUE_DEPTH,
+    RENDER_QUEUE_WAIT_MS,
+    RENDER_TASKS_EXECUTED,
+    RENDER_TASKS_POSTED,
+)
+
 
 @dataclass
 class RenderTask:
@@ -52,6 +59,8 @@ class EventDispatchQueue:
         """Queue a render task (returns it for inspection)."""
         task = RenderTask(description, action, posted_at_ms=self.clock_ms)
         self._queue.append(task)
+        RENDER_TASKS_POSTED.inc()
+        RENDER_QUEUE_DEPTH.set(len(self._queue))
         return task
 
     def pending(self) -> int:
@@ -75,6 +84,10 @@ class EventDispatchQueue:
             self.executed.append(task)
             self._next_slot_ms = execute_at + self.min_interval_ms
             ran += 1
+            RENDER_QUEUE_WAIT_MS.observe(execute_at - task.posted_at_ms)
+        if ran:
+            RENDER_TASKS_EXECUTED.inc(ran)
+            RENDER_QUEUE_DEPTH.set(len(self._queue))
         self.clock_ms = clock_ms
         return ran
 

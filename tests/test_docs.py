@@ -1,14 +1,33 @@
-"""Documentation invariants: generated references stay in sync and the
-public API carries docstrings."""
+"""Documentation invariants: generated references stay in sync, the
+public API carries docstrings, and prose never drifts from the code —
+every module path, CLI subcommand, metric family and intra-repo link
+mentioned in README.md and docs/*.md must exist."""
 
+import glob
+import importlib
 import os
+import re
 
 import pytest
 
 import repro
 from repro.mal.modules import reference_text, registered_names
 
-DOCS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "docs")
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+
+def _doc_files():
+    """README.md plus every markdown file under docs/."""
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    paths += sorted(glob.glob(os.path.join(DOCS_DIR, "*.md")))
+    return paths
+
+
+def _doc_texts():
+    return {path: open(path).read() for path in _doc_files()}
 
 
 class TestMalReference:
@@ -44,7 +63,7 @@ class TestDocstringCoverage:
         "repro", "repro.core", "repro.storage", "repro.mal",
         "repro.sqlfe", "repro.server", "repro.profiler", "repro.dot",
         "repro.layout", "repro.svg", "repro.viz", "repro.tpch",
-        "repro.workloads",
+        "repro.workloads", "repro.metrics",
     ])
     def test_every_public_item_documented(self, module_name):
         import importlib
@@ -58,5 +77,99 @@ class TestDocstringCoverage:
 
     def test_docs_directory_complete(self):
         for name in ("architecture.md", "mal_reference.md",
-                     "trace_format.md"):
+                     "trace_format.md", "metrics_reference.md",
+                     "operations.md"):
             assert os.path.exists(os.path.join(DOCS_DIR, name))
+
+
+class TestProseMatchesCode:
+    """The docs-consistency gate: names in prose must exist in code."""
+
+    MODULE_PATH = re.compile(r"`(repro(?:\.[A-Za-z_]\w*)+)")
+    CLI_COMMAND = re.compile(r"python -m repro ([a-z]\w*)")
+    METRIC_NAME = re.compile(r"\brepro_[a-z0-9_]+\b")
+    MD_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+    FILE_PATH = re.compile(r"`([\w.-]+(?:/[\w.-]+)+\.(?:md|py))`")
+
+    @staticmethod
+    def _resolvable(dotted):
+        """True if ``repro.a.b.c`` is a module, or a module plus an
+        attribute chain (``repro.metrics.REGISTRY.reset``)."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            for attr in parts[cut:]:
+                if not hasattr(obj, attr):
+                    return False
+                obj = getattr(obj, attr)
+            return True
+        return False
+
+    def test_module_paths_exist(self):
+        broken = []
+        for path, text in _doc_texts().items():
+            for dotted in set(self.MODULE_PATH.findall(text)):
+                if not self._resolvable(dotted):
+                    broken.append(f"{os.path.basename(path)}: `{dotted}`")
+        assert not broken, f"docs mention unknown module paths: {broken}"
+
+    def test_cli_subcommands_exist(self):
+        from repro.cli import _COMMANDS
+
+        broken = []
+        for path, text in _doc_texts().items():
+            for command in set(self.CLI_COMMAND.findall(text)):
+                if command not in _COMMANDS:
+                    broken.append(f"{os.path.basename(path)}: {command}")
+        assert not broken, f"docs mention unknown CLI subcommands: {broken}"
+
+    def test_metric_names_match_registry(self):
+        import repro.metrics as metrics
+
+        families = set(metrics.snapshot())
+        suffixes = ("_bucket", "_sum", "_count")
+
+        def normalize(name):
+            for suffix in suffixes:
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    return name[: -len(suffix)]
+            return name
+
+        mentioned = set()
+        for path, text in _doc_texts().items():
+            for name in self.METRIC_NAME.findall(text):
+                name = normalize(name)
+                assert name in families, (
+                    f"{os.path.basename(path)} mentions unregistered "
+                    f"metric {name}"
+                )
+                mentioned.add(name)
+        undocumented = families - mentioned
+        assert not undocumented, (
+            f"registered families missing from docs: {sorted(undocumented)}"
+        )
+
+    def test_no_dead_intra_repo_links(self):
+        broken = []
+        for path, text in _doc_texts().items():
+            base = os.path.dirname(path)
+            for target in self.MD_LINK.findall(text):
+                if target.startswith(("http://", "https://", "#")):
+                    continue
+                resolved = os.path.join(base, target.split("#")[0])
+                if not os.path.exists(resolved):
+                    broken.append(f"{os.path.basename(path)} -> {target}")
+        assert not broken, f"dead links: {broken}"
+
+    def test_backtick_file_paths_exist(self):
+        roots = (REPO_ROOT, DOCS_DIR, os.path.join(REPO_ROOT, "src/repro"))
+        broken = []
+        for path, text in _doc_texts().items():
+            for target in set(self.FILE_PATH.findall(text)):
+                if not any(os.path.exists(os.path.join(root, target))
+                           for root in roots):
+                    broken.append(f"{os.path.basename(path)}: {target}")
+        assert not broken, f"docs mention missing files: {broken}"
