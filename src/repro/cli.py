@@ -12,6 +12,8 @@ Subcommands mirror how the paper's tools are operated:
 ``datagen``    generate a TPC-H catalog and save it to disk
 ``metrics``    engine metrics in text exposition format (local registry,
                or a running server's via ``--port``)
+``chaos``      seeded fault-injection sweep against an in-process
+               server; prints a pass/fail invariant report
 =============  =========================================================
 """
 
@@ -106,6 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
                               "'stats' protocol verb instead of dumping "
                               "this process's registry")
     metrics.add_argument("--host", default="127.0.0.1")
+
+    chaos = commands.add_parser(
+        "chaos", help="seeded fault-injection sweep (invariant report)"
+    )
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="how many seeds per mix")
+    chaos.add_argument("--base-seed", type=int, default=0,
+                       help="first seed (cases use base..base+seeds-1)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="replay exactly one seed instead of a sweep")
+    chaos.add_argument("--mix", action="append", default=None,
+                       help="fault mix name (repeatable; default: all)")
+    chaos.add_argument("--spec", default=None,
+                       help="explicit fault spec string overriding the "
+                            "mix table (requires --seed and one --mix "
+                            "name for labeling)")
+    chaos.add_argument("--scale", type=float, default=0.01,
+                       help="TPC-H scale factor for the sweep server")
+    chaos.add_argument("--wall-cap", type=float, default=20.0,
+                       help="per-case wall-clock cap in seconds")
 
     return parser
 
@@ -288,6 +310,42 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import tempfile
+
+    from repro.faults.chaos import ChaosReport, run_case, run_sweep
+
+    mixes = args.mix if args.mix else None
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        if args.spec is not None:
+            # single explicit spec: build the server once, run the cases
+            from repro.server.database import Database
+            from repro.server.mserver import Mserver
+            from repro.tpch import populate
+
+            label = (mixes or ["custom"])[0]
+            database = Database(workers=2, mitosis_threshold=50)
+            populate(database.catalog, scale_factor=args.scale, seed=3)
+            report = ChaosReport()
+            with Mserver(database) as server:
+                for seed in seeds:
+                    report.cases.append(run_case(
+                        server, seed, label, spec=args.spec,
+                        workdir=workdir, wall_cap_s=args.wall_cap))
+        else:
+            report = run_sweep(
+                seeds, mixes, scale=args.scale, workdir=workdir,
+                wall_cap_s=args.wall_cap,
+                log=lambda line: (out.write(line + "\n"), out.flush()),
+            )
+    out.write(report.render() + "\n")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
@@ -297,6 +355,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "datagen": _cmd_datagen,
     "metrics": _cmd_metrics,
+    "chaos": _cmd_chaos,
 }
 
 

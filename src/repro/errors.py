@@ -44,6 +44,14 @@ class OptimizerError(MalError):
     """An optimizer pass could not transform the plan."""
 
 
+class WorkerCrashError(MalRuntimeError):
+    """A dataflow worker crashed (today only via injected faults)."""
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection plan spec or config could not be parsed."""
+
+
 class SqlError(ReproError):
     """Errors from the SQL front end."""
 
@@ -58,6 +66,18 @@ class BindError(SqlError):
 
 class ServerError(ReproError):
     """Errors from the Mserver simulator and its client protocol."""
+
+
+class ConnectionFailedError(ServerError):
+    """A client could not establish (or handshake) a server connection."""
+
+
+class ConnectionLostError(ServerError):
+    """The server connection died mid-request (reset, premature close)."""
+
+
+class RequestTimeoutError(ServerError):
+    """A client request exceeded its per-request deadline."""
 
 
 class ProfilerError(ReproError):

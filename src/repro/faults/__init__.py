@@ -1,0 +1,40 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the seeded :class:`FaultPlan` (built from
+  a config dict or a CLI spec string), the injection-site table, and
+  the global :data:`ACTIVE` arming point that hot paths check.
+* :mod:`repro.faults.chaos` — the sweep driver behind ``python -m
+  repro chaos``: runs seeds x fault mixes against a live server and
+  checks invariants (no hangs, typed errors only, completeness
+  accounting, byte-identical replays).
+
+Every decision a plan makes comes from a PRNG seeded by the plan seed
+and the site name, so any failing run is replayed exactly by re-running
+the same seed and spec.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    ACTIVE,
+    SITES,
+    FaultDecision,
+    FaultPlan,
+    FaultRule,
+    arm,
+    armed,
+    disarm,
+)
+
+__all__ = [
+    "ACTIVE",
+    "SITES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultRule",
+    "arm",
+    "armed",
+    "disarm",
+]

@@ -1,0 +1,240 @@
+"""The chaos sweep behind ``python -m repro chaos``.
+
+Runs seeds x fault mixes against a live in-process Mserver and checks
+the invariants the fault harness promises:
+
+* **no hangs** — every case finishes inside its wall-clock cap (the
+  degraded online monitor and the receiver's ``max_seconds`` cap make
+  a lost END marker survivable);
+* **typed errors only** — every client call either succeeds (after
+  retries) or raises a :class:`~repro.errors.ReproError` subclass;
+* **loss accounting** — for UDP-only mixes, the monitor's distinct
+  event count equals exactly what the armed emitter put on the wire
+  (sent events minus duplicate and truncate fires);
+* **replayability** — re-running a case with the same seed and mix
+  produces the identical fault journal (same decisions, same order).
+
+Keep ``scale`` small: the sweep runs dozens of full query executions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan, armed
+
+#: The named fault mixes the acceptance sweep runs (spec-string form).
+MIXES: Dict[str, str] = {
+    "drop10": "udp.emit:drop@0.10",
+    "reorder": "udp.emit:reorder@0.25",
+    "dup": "udp.emit:dup@0.20",
+    "reset": "server.loop:reset@0.08#2;server.loop:latency=10@0.25",
+    "worker-stall": ("scheduler.worker:stall=400@0.20;"
+                     "scheduler.worker:crash@0.03#1"),
+}
+
+#: Mixes whose faults touch only the UDP stream; for these the exact
+#: sent-vs-received accounting invariant holds (resets re-run queries
+#: and crashes truncate them, which makes counting ambiguous).
+UDP_ONLY_MIXES = ("drop10", "reorder", "dup")
+
+
+@dataclass
+class CaseResult:
+    """One (seed, mix) chaos case and how it went."""
+
+    seed: int
+    mix: str
+    ok: bool
+    wall_s: float
+    outcome: str                  # "rows" | "typed-error"
+    error: str = ""               # repr of the typed error, if any
+    completeness: float = 1.0
+    ended: bool = True
+    fault_fires: int = 0
+    journal: List[Tuple[str, str, str]] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one sweep produced."""
+
+    cases: List[CaseResult] = field(default_factory=list)
+    replay_checked: int = 0
+    replay_mismatches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (all(case.ok for case in self.cases)
+                and self.replay_mismatches == 0)
+
+    def render(self) -> str:
+        """Human-readable pass/fail report."""
+        lines = ["chaos sweep: "
+                 f"{len(self.cases)} cases "
+                 f"({len({c.seed for c in self.cases})} seeds x "
+                 f"{len({c.mix for c in self.cases})} mixes)"]
+        by_mix: Dict[str, List[CaseResult]] = {}
+        for case in self.cases:
+            by_mix.setdefault(case.mix, []).append(case)
+        for mix in sorted(by_mix):
+            batch = by_mix[mix]
+            passed = sum(1 for c in batch if c.ok)
+            fires = sum(c.fault_fires for c in batch)
+            completeness = min(c.completeness for c in batch)
+            typed = sum(1 for c in batch if c.outcome == "typed-error")
+            lines.append(
+                f"  {mix:<14} {passed}/{len(batch)} ok, "
+                f"{fires} faults fired, {typed} typed errors, "
+                f"min completeness {completeness * 100:.1f}%")
+        for case in self.cases:
+            if not case.ok:
+                lines.append(f"  FAIL seed={case.seed} mix={case.mix}: "
+                             + "; ".join(case.violations))
+                lines.append(f"       replay with: python -m repro chaos "
+                             f"--seed {case.seed} --mix {case.mix}")
+        if self.replay_checked:
+            verdict = ("identical" if self.replay_mismatches == 0
+                       else f"{self.replay_mismatches} MISMATCHED")
+            lines.append(f"  replay check: {self.replay_checked} cases "
+                         f"re-run, journals {verdict}")
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_case(server, seed: int, mix: str, spec: Optional[str] = None,
+             workdir: str = ".", wall_cap_s: float = 20.0) -> CaseResult:
+    """Run one chaos case against a started ``Mserver``.
+
+    Arms a fresh plan from ``spec`` (default: ``MIXES[mix]``), monitors
+    one profiled SELECT through the degraded-capable online session,
+    and checks the per-case invariants.  Always disarms on exit.
+    """
+    from repro.core.online import OnlineSession
+    from repro.core.textual import TextualStethoscope
+    from repro.metrics.families import UDP_DATAGRAMS_SENT
+    from repro.server.client import MClient
+
+    spec = MIXES[mix] if spec is None else spec
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    sql = "select count(*) from lineitem where l_quantity > 10"
+    sent_events = UDP_DATAGRAMS_SENT.labels(kind="event")
+    began = time.monotonic()
+    violations: List[str] = []
+    outcome, error = "rows", ""
+    with armed(plan), TextualStethoscope() as textual:
+        connection = textual.connect(f"chaos-{mix}-{seed}")
+        sent_before = sent_events.value()
+
+        def run_query():
+            client = MClient(port=server.port, timeout=5.0, retries=3,
+                             backoff_base_s=0.01, backoff_max_s=0.1,
+                             deadline_s=10.0, retry_seed=seed)
+            try:
+                client.set_profiler(port=connection.port)
+                return client.query(sql).rows
+            finally:
+                client.close()
+
+        session = OnlineSession(connection, _Typed(run_query),
+                                workdir=workdir)
+        result = session.run(timeout_s=wall_cap_s, settle_s=0.3)
+        outcome, payload = result.query_result
+        if outcome == "typed-error":
+            error = repr(payload)
+        elif outcome != "rows":
+            violations.append(f"untyped failure: {payload!r}")
+        # let in-flight datagrams (e.g. a reordered tail) land before
+        # auditing the stream, then recount from the full connection
+        for _ in range(5):
+            connection.drain(timeout=0.05)
+        from repro.core.online import analyze_stream
+        _clean, health = analyze_stream(connection.events)
+        sent_delta = sent_events.value() - sent_before
+    wall_s = time.monotonic() - began
+    if wall_s >= wall_cap_s:
+        violations.append(f"case ran {wall_s:.1f}s >= cap {wall_cap_s}s")
+    if mix in UDP_ONLY_MIXES and outcome == "rows":
+        # exact accounting: what went on the wire must be what we saw.
+        # The journal's detail field records the line kind, so fires on
+        # dot/end lines do not pollute the event arithmetic.
+        dup = sum(1 for site, action, detail in plan.journal
+                  if action == "dup" and detail == "event")
+        truncated = sum(1 for site, action, detail in plan.journal
+                        if action == "truncate" and detail == "event")
+        expected = int(sent_delta) - dup - truncated
+        if health.distinct != expected:
+            violations.append(
+                f"accounting: {health.distinct} distinct events vs "
+                f"{expected} expected ({int(sent_delta)} sent - "
+                f"{dup} dup - {truncated} truncated)")
+    return CaseResult(
+        seed=seed, mix=mix, ok=not violations, wall_s=wall_s,
+        outcome=outcome, error=error,
+        completeness=health.completeness, ended=health.ended,
+        fault_fires=len(plan.journal), journal=list(plan.journal),
+        violations=violations,
+    )
+
+
+class _Typed:
+    """Wraps run_query so typed errors become data, not crashes."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def __call__(self):
+        try:
+            return ("rows", self._fn())
+        except ReproError as exc:
+            return ("typed-error", exc)
+
+
+def run_sweep(seeds: Sequence[int], mixes: Optional[Sequence[str]] = None,
+              scale: float = 0.01, workdir: str = ".",
+              wall_cap_s: float = 20.0, replay_sample: int = 2,
+              log=None) -> ChaosReport:
+    """Run the full sweep on a private in-process server.
+
+    ``seeds`` x ``mixes`` cases, plus a replay pass re-running up to
+    ``replay_sample`` cases per mix and comparing fault journals.
+    """
+    from repro.server.database import Database
+    from repro.server.mserver import Mserver
+    from repro.tpch import populate
+
+    mixes = list(MIXES) if mixes is None else list(mixes)
+    for mix in mixes:
+        if mix not in MIXES:
+            raise ReproError(f"unknown chaos mix {mix!r}; known: "
+                             + ", ".join(MIXES))
+    database = Database(workers=2, mitosis_threshold=50)
+    populate(database.catalog, scale_factor=scale, seed=3)
+    report = ChaosReport()
+    with Mserver(database) as server:
+        for mix in mixes:
+            for seed in seeds:
+                case = run_case(server, seed, mix, workdir=workdir,
+                                wall_cap_s=wall_cap_s)
+                report.cases.append(case)
+                if log is not None:
+                    log(f"seed={seed} mix={mix}: "
+                        + ("ok" if case.ok else "FAIL")
+                        + f" ({case.outcome}, "
+                        f"{case.completeness * 100:.0f}% complete, "
+                        f"{case.fault_fires} faults)")
+            # determinism: re-run a sample and compare journals
+            for case in [c for c in report.cases
+                         if c.mix == mix][:replay_sample]:
+                again = run_case(server, case.seed, mix, workdir=workdir,
+                                 wall_cap_s=wall_cap_s)
+                report.replay_checked += 1
+                if again.journal != case.journal:
+                    report.replay_mismatches += 1
+                    case.violations.append("replay journal mismatch")
+                    case.ok = False
+    return report

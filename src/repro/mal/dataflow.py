@@ -29,7 +29,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import MalRuntimeError
+from repro.errors import MalRuntimeError, WorkerCrashError
+from repro.faults.plan import ACTIVE
 from repro.mal.ast import MalInstruction, MalProgram
 from repro.mal.interpreter import (
     CostModel,
@@ -86,6 +87,7 @@ class SimulatedScheduler:
     def run(self, program: MalProgram) -> ExecutionResult:
         """Execute ``program``; returns results plus scheduled run records."""
         program.validate()
+        fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
         ctx = EvalContext(self.catalog, program)
         deps = program.dependencies()
@@ -112,6 +114,16 @@ class SimulatedScheduler:
             ready_usec, pc = heapq.heappop(ready)
             instr = instructions[pc]
             widx = min(range(workers), key=lambda w: (worker_free[w], w))
+            if fault_plan is not None:
+                decision = fault_plan.decide("scheduler.worker",
+                                             detail=str(pc))
+                if decision is not None:
+                    if decision.action == "crash":
+                        raise WorkerCrashError(
+                            f"injected crash of worker {widx} at pc={pc}")
+                    if decision.action == "stall":
+                        # the worker sits idle before taking the job
+                        worker_free[widx] += int(decision.value or 1000)
             start = max(worker_free[widx], ready_usec)
             inputs, outputs = execute_instruction(ctx, instr)
             cost = self.cost_model.cost_usec(instr, inputs, outputs)
@@ -198,6 +210,7 @@ class ThreadedScheduler:
     def run(self, program: MalProgram) -> ExecutionResult:
         """Execute ``program`` on the worker pool; blocks until done."""
         program.validate()
+        fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
         ctx = EvalContext(self.catalog, program)
         deps = program.dependencies()
@@ -224,6 +237,20 @@ class ThreadedScheduler:
                         ready_cv.notify_all()
                         return
                     pc = ready.pop(0)
+                if fault_plan is not None:
+                    decision = fault_plan.decide("scheduler.worker",
+                                                 detail=str(pc))
+                    if decision is not None:
+                        if decision.action == "crash":
+                            with ready_cv:
+                                failure.append(WorkerCrashError(
+                                    f"injected crash of worker {widx} "
+                                    f"at pc={pc}"))
+                                ready_cv.notify_all()
+                            return
+                        if decision.action == "stall":
+                            time.sleep((decision.value or 1000)
+                                       * self.realtime_scale / 1_000_000.0)
                 instr = instructions[pc]
                 stmt = format_instruction(instr, program)
                 start = now_usec()

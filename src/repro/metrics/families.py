@@ -129,6 +129,37 @@ UDP_RECEIVE_BACKLOG = REGISTRY.gauge(
 )
 
 # --------------------------------------------------------------------------
+# repro.faults — deterministic fault injection
+# --------------------------------------------------------------------------
+
+FAULT_INJECTIONS = REGISTRY.counter(
+    "repro_fault_injections_total",
+    "Fault decisions that fired, by injection site and action (e.g. "
+    "udp.emit/drop, server.loop:reset, scheduler.worker:stall). Zero "
+    "unless a FaultPlan is armed.",
+    labels=("site", "action"),
+    unit="faults",
+)
+
+# --------------------------------------------------------------------------
+# repro.server.client — the hardened MClient
+# --------------------------------------------------------------------------
+
+CLIENT_RETRIES = REGISTRY.counter(
+    "repro_client_retries_total",
+    "Requests re-sent by MClient after a connection failure, by op.",
+    labels=("op",),
+    unit="retries",
+)
+
+CLIENT_DEADLINE_EXCEEDED = REGISTRY.counter(
+    "repro_client_deadline_exceeded_total",
+    "Client requests abandoned because the per-request deadline passed "
+    "(raised as RequestTimeoutError).",
+    unit="requests",
+)
+
+# --------------------------------------------------------------------------
 # repro.core.online / repro.core.mapping — the online monitor
 # --------------------------------------------------------------------------
 
@@ -149,6 +180,36 @@ ONLINE_SAMPLED_OUT = REGISTRY.counter(
     "Colour actions dropped by backlog-triggered sampling (GREEN "
     "repaints shed while the render queue is saturated).",
     unit="actions",
+)
+
+ONLINE_DEGRADED = REGISTRY.counter(
+    "repro_online_degraded_runs_total",
+    "Online sessions that finished in degraded mode (lost END marker, "
+    "sequence gaps, or damaged plan shipment) instead of hanging.",
+    unit="runs",
+)
+
+ONLINE_SEQUENCE_GAPS = REGISTRY.counter(
+    "repro_online_sequence_gaps_total",
+    "Missing trace sequence numbers detected by the degraded-mode "
+    "stream analysis (events lost between profiler and monitor).",
+    unit="events",
+)
+
+ONLINE_INTERPOLATED = REGISTRY.counter(
+    "repro_online_interpolated_events_total",
+    "Synthetic start events interpolated for done events whose start "
+    "half was lost, so pair coloring still sees both halves.",
+    unit="events",
+)
+
+ONLINE_COMPLETENESS = REGISTRY.histogram(
+    "repro_online_trace_completeness_percent",
+    "Per-query trace completeness: distinct events received over "
+    "events expected from the observed sequence range, as a "
+    "percentage. 100 on clean runs.",
+    unit="percent",
+    buckets=(50.0, 75.0, 90.0, 95.0, 99.0, 100.0),
 )
 
 MAPPING_LOOKUPS = REGISTRY.counter(

@@ -13,9 +13,11 @@ from __future__ import annotations
 import queue
 import socket
 import threading
-from typing import Iterator, List, Optional, Tuple
+import time
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ProfilerError
+from repro.faults.plan import ACTIVE, FaultPlan
 from repro.metrics.families import (
     UDP_BYTES_SENT,
     UDP_DATAGRAMS_RECEIVED,
@@ -30,6 +32,74 @@ DOT_PREFIX = "#dot\t"
 
 #: Stream terminator, sent when the server finishes a query.
 END_MARKER = "#end"
+
+
+def _line_kind(line: str) -> str:
+    """Classify a stream line as event, dot, or end."""
+    if line.startswith(DOT_PREFIX):
+        return "dot"
+    if line == END_MARKER:
+        return "end"
+    return "event"
+
+
+class LineFaultPipe:
+    """Applies ``udp.emit`` fault decisions to a stream of lines.
+
+    Stateful because *reorder* must hold a line back and release it
+    after the next one; everything else is per-line.  Kind is
+    classified from the original line before any truncation so a
+    mangled ``#dot`` line still counts against the dot kind.
+    """
+
+    def __init__(self) -> None:
+        self._held: Optional[Tuple[str, str]] = None
+
+    def feed(self, plan: FaultPlan, line: str,
+             kind: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Run one line through the plan; return (line, kind) to send."""
+        if kind is None:
+            kind = _line_kind(line)
+        decision = plan.decide("udp.emit", detail=kind)
+        out: List[Tuple[str, str]] = []
+        if decision is None:
+            out.append((line, kind))
+        elif decision.action == "drop":
+            pass
+        elif decision.action == "dup":
+            out.append((line, kind))
+            out.append((line, kind))
+        elif decision.action == "truncate":
+            keep = int(decision.value) if decision.value else len(line) // 2
+            out.append((line[:max(keep, 0)], kind))
+        elif decision.action == "reorder":
+            if self._held is None:
+                self._held = (line, kind)
+            else:  # already holding one; swap rather than stack
+                out.append((line, kind))
+        holding = decision is not None and decision.action == "reorder"
+        if out and self._held is not None and not holding:
+            out.append(self._held)
+            self._held = None
+        return out
+
+    def flush(self) -> List[Tuple[str, str]]:
+        """Release any held (reordered) line at end of stream."""
+        if self._held is None:
+            return []
+        held, self._held = self._held, None
+        return [held]
+
+
+def apply_line_faults(plan: FaultPlan, lines: Iterable[str]) -> List[str]:
+    """Run lines through a fresh pipe; the offline/testable analogue of
+    what an armed :class:`UdpEmitter` does on the wire."""
+    pipe = LineFaultPipe()
+    out: List[str] = []
+    for line in lines:
+        out.extend(sent for sent, _kind in pipe.feed(plan, line))
+    out.extend(sent for sent, _kind in pipe.flush())
+    return out
 
 
 class UdpEmitter:
@@ -47,6 +117,7 @@ class UdpEmitter:
                       for kind in ("event", "dot", "end")}
         self._bytes = UDP_BYTES_SENT
         self._errors = UDP_SEND_ERRORS
+        self._fault_pipe = LineFaultPipe()
 
     def __call__(self, event: TraceEvent) -> None:
         self.send_line(format_event(event))
@@ -56,20 +127,24 @@ class UdpEmitter:
 
         A failing ``sendto`` (unreachable receiver, closed socket) drops
         the datagram and counts it in ``repro_udp_send_errors_total`` —
-        the stream is lossy by design, like the real profiler's.
+        the stream is lossy by design, like the real profiler's.  When
+        a fault plan is armed, the line first runs through its
+        ``udp.emit`` rules (drop/dup/reorder/truncate).
         """
+        plan = ACTIVE.plan
+        if plan is None:
+            self._transmit(line, _line_kind(line))
+            return
+        for out_line, kind in self._fault_pipe.feed(plan, line):
+            self._transmit(out_line, kind)
+
+    def _transmit(self, line: str, kind: str) -> None:
         payload = line.encode("utf-8")
         try:
             self._socket.sendto(payload, self.address)
         except OSError:
             self._errors.inc()
             return
-        if line.startswith(DOT_PREFIX):
-            kind = "dot"
-        elif line == END_MARKER:
-            kind = "end"
-        else:
-            kind = "event"
         self._sent[kind].inc()
         self._bytes.inc(len(payload))
 
@@ -79,10 +154,19 @@ class UdpEmitter:
             self.send_line(DOT_PREFIX + line)
 
     def send_end(self) -> None:
-        """Signal end of the query's stream."""
+        """Signal end of the query's stream.
+
+        Any line held back by a reorder fault is released first, so a
+        reordered tail lands before the END marker rather than being
+        silently swallowed at close time.
+        """
+        for held_line, held_kind in self._fault_pipe.flush():
+            self._transmit(held_line, held_kind)
         self.send_line(END_MARKER)
 
     def close(self) -> None:
+        for held_line, held_kind in self._fault_pipe.flush():
+            self._transmit(held_line, held_kind)
         self._socket.close()
 
     def __enter__(self) -> "UdpEmitter":
@@ -131,17 +215,34 @@ class UdpReceiver:
             UDP_RECEIVE_BACKLOG.set(self._queue.qsize())
         self._queue.put(None)
 
-    def lines(self, timeout: float = 5.0) -> Iterator[str]:
-        """Yield received lines until the END marker or a timeout gap.
+    def lines(self, timeout: float = 5.0,
+              max_seconds: Optional[float] = None) -> Iterator[str]:
+        """Yield received lines until the END marker or a timeout.
 
         A gap of ``timeout`` seconds without any datagram ends iteration
         (the online monitor treats that as a stalled stream).
+        ``max_seconds`` additionally caps the *total* wall-clock time of
+        the iteration — without it, a steady stream whose END marker was
+        lost to UDP drop would keep the loop alive indefinitely, since
+        every datagram resets the gap timer.
         """
+        deadline = (None if max_seconds is None
+                    else time.monotonic() + max_seconds)
         while True:
+            wait = timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                wait = min(timeout, remaining)
             try:
-                line = self._queue.get(timeout=timeout)
+                line = self._queue.get(timeout=wait)
             except queue.Empty:
-                return
+                if deadline is not None and time.monotonic() >= deadline:
+                    return
+                if wait >= timeout:
+                    return
+                continue
             UDP_RECEIVE_BACKLOG.set(self._queue.qsize())
             if line is None:
                 return

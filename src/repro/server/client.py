@@ -1,11 +1,28 @@
-"""MClient: the TCP client for Mserver (what Stethoscope connects with)."""
+"""MClient: the TCP client for Mserver (what Stethoscope connects with).
+
+Hardened against the failures the chaos harness injects: connection
+setup raises a typed :class:`~repro.errors.ConnectionFailedError`,
+requests that die mid-flight are retried with exponential backoff and
+jitter (reconnecting and replaying session state first), and every
+request observes a per-request deadline that converts into a
+:class:`~repro.errors.RequestTimeoutError` instead of blocking forever.
+"""
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ServerError
+from repro.errors import (
+    ConnectionFailedError,
+    ConnectionLostError,
+    ReproError,
+    RequestTimeoutError,
+    ServerError,
+)
+from repro.metrics.families import CLIENT_DEADLINE_EXCEEDED, CLIENT_RETRIES
 from repro.server.protocol import decode_message, decode_rows, encode_message
 
 
@@ -16,6 +33,20 @@ class MClient:
 
         with MClient(port=server.port) as client:
             rows = client.query("select count(*) from lineitem").rows
+
+    Args:
+        host/port: where the Mserver listens.
+        timeout: socket-level timeout for connect and each recv.
+        retries: how many times a failed *retryable* request is re-sent
+            after reconnecting (0 disables retry).
+        backoff_base_s/backoff_max_s: exponential backoff bounds; each
+            delay is jittered to half-to-full of the nominal value.
+        deadline_s: default per-request wall-clock budget (covers all
+            retries); ``None`` means no deadline beyond socket timeouts.
+        retry_seed: seeds the jitter PRNG so retry timing is
+            reproducible under test.
+        handshake: ping the server during construction; on failure the
+            socket is closed and ``ConnectionFailedError`` raised.
     """
 
     class Result:
@@ -30,26 +61,169 @@ class MClient:
             self.affected: int = payload.get("affected", 0)
 
     def __init__(self, host: str = "127.0.0.1", port: int = 50000,
-                 timeout: float = 30.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
+                 timeout: float = 30.0, retries: int = 2,
+                 backoff_base_s: float = 0.05, backoff_max_s: float = 1.0,
+                 deadline_s: Optional[float] = None,
+                 retry_seed: Optional[int] = None,
+                 handshake: bool = False) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.deadline_s = deadline_s
+        self._rng = random.Random(retry_seed)
+        self._socket: Optional[socket.socket] = None
         self._buffer = b""
+        # session-state requests replayed after a reconnect, keyed so a
+        # later profiler/pipeline choice replaces the earlier one
+        self._session_state: Dict[str, Dict[str, Any]] = {}
+        self._connect()
+        if handshake:
+            try:
+                self._call({"op": "ping"}, retryable=False)
+            except ReproError as exc:
+                self._teardown()
+                raise ConnectionFailedError(
+                    f"handshake with {host}:{port} failed: {exc}"
+                ) from exc
 
     # ------------------------------------------------------------------
+    # connection management
 
-    def _call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self._socket.sendall(encode_message(request))
-        while b"\n" not in self._buffer:
-            chunk = self._socket.recv(65536)
-            if not chunk:
-                raise ServerError("server closed the connection")
-            self._buffer += chunk
+    def _connect(self) -> None:
+        try:
+            self._socket = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            self._socket = None
+            raise ConnectionFailedError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._buffer = b""
+
+    def _teardown(self) -> None:
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+        self._buffer = b""
+
+    def _reconnect(self) -> None:
+        self._teardown()
+        self._connect()
+        # replay session state (pipeline, workers, profiler target) so
+        # the fresh connection behaves like the one that died
+        for request in self._session_state.values():
+            self._call_once(dict(request), deadline=None)
+
+    @staticmethod
+    def _state_key(request: Dict[str, Any]) -> Optional[str]:
+        op = request.get("op")
+        if op == "profiler":
+            return "profiler"
+        if op == "set":
+            # pipeline and workers are independent settings
+            return "set:" + ",".join(sorted(k for k in request
+                                            if k != "op"))
+        return None
+
+    # ------------------------------------------------------------------
+    # request plumbing
+
+    def _call(self, request: Dict[str, Any],
+              deadline_s: Optional[float] = None,
+              retryable: bool = True) -> Dict[str, Any]:
+        budget = self.deadline_s if deadline_s is None else deadline_s
+        deadline = None if budget is None else time.monotonic() + budget
+        op = str(request.get("op", "?"))
+        attempt = 0
+        while True:
+            try:
+                if self._socket is None:
+                    self._connect()
+                response = self._call_once(request, deadline)
+            except RequestTimeoutError:
+                raise
+            except (ConnectionFailedError, ConnectionLostError,
+                    OSError) as exc:
+                self._teardown()
+                attempt += 1
+                if not retryable or attempt > self.retries:
+                    if isinstance(exc, (ConnectionFailedError,
+                                        ConnectionLostError)):
+                        raise
+                    raise ConnectionLostError(
+                        f"{op} to {self.host}:{self.port} failed: {exc}"
+                    ) from exc
+                CLIENT_RETRIES.labels(op=op).inc()
+                nominal = min(self.backoff_max_s,
+                              self.backoff_base_s * (2 ** (attempt - 1)))
+                delay = nominal * (0.5 + self._rng.random() / 2.0)
+                if deadline is not None and \
+                        time.monotonic() + delay >= deadline:
+                    CLIENT_DEADLINE_EXCEEDED.inc()
+                    raise RequestTimeoutError(
+                        f"{op} to {self.host}:{self.port} exceeded its "
+                        f"{budget:g}s deadline after {attempt} attempt(s)"
+                    ) from exc
+                time.sleep(delay)
+                try:
+                    self._reconnect()
+                except (ConnectionFailedError, ConnectionLostError,
+                        RequestTimeoutError, OSError):
+                    continue  # charged as the next attempt
+                continue
+            key = self._state_key(request)
+            if key is not None:
+                self._session_state[key] = dict(request)
+            return response
+
+    def _call_once(self, request: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        assert self._socket is not None
+        try:
+            self._socket.settimeout(self._slice(deadline))
+            self._socket.sendall(encode_message(request))
+            while b"\n" not in self._buffer:
+                self._socket.settimeout(self._slice(deadline))
+                chunk = self._socket.recv(65536)
+                if not chunk:
+                    raise ConnectionLostError(
+                        f"{self.host}:{self.port} closed the connection")
+                self._buffer += chunk
+        except socket.timeout as exc:
+            if deadline is not None and time.monotonic() >= deadline:
+                CLIENT_DEADLINE_EXCEEDED.inc()
+                raise RequestTimeoutError(
+                    f"request to {self.host}:{self.port} exceeded its "
+                    "deadline") from exc
+            raise ConnectionLostError(
+                f"{self.host}:{self.port} timed out mid-request"
+            ) from exc
         line, self._buffer = self._buffer.split(b"\n", 1)
         response = decode_message(line)
         if not response.get("ok"):
             raise ServerError(response.get("error", "request failed"))
         return response
 
+    def _slice(self, deadline: Optional[float]) -> float:
+        """Socket timeout for the next operation under ``deadline``."""
+        if deadline is None:
+            return self.timeout
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            CLIENT_DEADLINE_EXCEEDED.inc()
+            raise RequestTimeoutError(
+                f"request to {self.host}:{self.port} exceeded its "
+                "deadline")
+        return min(self.timeout, remaining)
+
     # ------------------------------------------------------------------
+    # verbs
 
     def ping(self) -> bool:
         """Liveness check."""
@@ -64,9 +238,18 @@ class MClient:
         ``docs/metrics_reference.md`` for the families."""
         return self._call({"op": "stats"})["metrics"]
 
-    def query(self, sql: str) -> "MClient.Result":
-        """Execute one SQL statement."""
-        return MClient.Result(self._call({"op": "query", "sql": sql}))
+    def query(self, sql: str,
+              deadline_s: Optional[float] = None) -> "MClient.Result":
+        """Execute one SQL statement.
+
+        Only SELECTs are retried after a connection loss — a data
+        statement may already have applied on the server side, so
+        re-sending it is not safe.
+        """
+        retryable = sql.lstrip()[:6].lower().startswith("select")
+        return MClient.Result(self._call({"op": "query", "sql": sql},
+                                         deadline_s=deadline_s,
+                                         retryable=retryable))
 
     def explain(self, sql: str) -> str:
         """The optimized MAL plan text of a SELECT."""
@@ -101,13 +284,16 @@ class MClient:
     def profiler_off(self) -> None:
         """Stop streaming profiler events."""
         self._call({"op": "profiler", "off": True})
+        self._session_state.pop("profiler", None)
 
     def close(self) -> None:
+        if self._socket is None:
+            return
         try:
-            self._call({"op": "quit"})
-        except (ServerError, OSError):
+            self._call({"op": "quit"}, deadline_s=1.0, retryable=False)
+        except (ReproError, OSError):
             pass
-        self._socket.close()
+        self._teardown()
 
     def __enter__(self) -> "MClient":
         return self

@@ -16,6 +16,7 @@ import time
 from typing import Dict, Optional
 
 from repro.errors import ReproError, ServerError
+from repro.faults.plan import ACTIVE
 from repro.metrics import snapshot as metrics_snapshot
 from repro.metrics.families import (
     SERVER_CONNECTIONS,
@@ -29,7 +30,12 @@ from repro.profiler.filters import EventFilter
 from repro.profiler.profiler import Profiler
 from repro.profiler.stream import UdpEmitter
 from repro.server.database import Database
-from repro.server.protocol import decode_message, encode_message, encode_rows
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    decode_message,
+    encode_message,
+    encode_rows,
+)
 
 
 class Mserver:
@@ -109,6 +115,14 @@ class Mserver:
             client.settimeout(30.0)
             while not self._stopping.is_set():
                 while b"\n" not in buffered:
+                    if len(buffered) > MAX_MESSAGE_BYTES:
+                        client.sendall(encode_message({
+                            "ok": False,
+                            "error": "request exceeds "
+                                     f"{MAX_MESSAGE_BYTES} bytes without "
+                                     "a newline",
+                        }))
+                        return
                     chunk = client.recv(65536)
                     if not chunk:
                         return
@@ -130,6 +144,17 @@ class Mserver:
                 SERVER_REQUESTS.labels(op=op).inc()
                 if not response.get("ok"):
                     SERVER_REQUEST_ERRORS.labels(op=op).inc()
+                plan = ACTIVE.plan
+                if plan is not None:
+                    decision = plan.decide("server.loop", detail=op)
+                    if decision is not None:
+                        if decision.action == "latency":
+                            delay_ms = decision.value if decision.value \
+                                else 25.0
+                            time.sleep(min(delay_ms, 2000.0) / 1000.0)
+                        elif decision.action == "reset":
+                            # drop the connection without answering
+                            return
                 client.sendall(encode_message(response))
                 if response.get("bye"):
                     return

@@ -33,6 +33,11 @@ from repro.errors import ServerError
 
 _DATE_TAG = "@date:"
 
+#: Upper bound on one protocol line.  A peer that buffers more than
+#: this without seeing a newline is framing garbage (or hostile); the
+#: server answers with an error and drops the connection.
+MAX_MESSAGE_BYTES = 1 << 20
+
 
 def encode_value(value: Any) -> Any:
     """JSON-encode one cell value (dates are tagged strings)."""

@@ -63,7 +63,7 @@ class TestDocstringCoverage:
         "repro", "repro.core", "repro.storage", "repro.mal",
         "repro.sqlfe", "repro.server", "repro.profiler", "repro.dot",
         "repro.layout", "repro.svg", "repro.viz", "repro.tpch",
-        "repro.workloads", "repro.metrics",
+        "repro.workloads", "repro.metrics", "repro.faults",
     ])
     def test_every_public_item_documented(self, module_name):
         import importlib
