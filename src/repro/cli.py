@@ -41,9 +41,23 @@ def _build_parser() -> argparse.ArgumentParser:
                                          "generating TPC-H data")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop after this long (default: run forever)")
+    serve.add_argument("--max-concurrent", type=int, default=4,
+                       help="execution slots shared by concurrent queries")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="queries allowed to wait for a slot before "
+                            "admission sheds them")
+    serve.add_argument("--queue-wait", type=float, default=5.0,
+                       help="longest a query may wait in the admission "
+                            "queue (seconds)")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       help="server-side deadline for queries that do "
+                            "not set their own (seconds)")
+    serve.add_argument("--drain-seconds", type=float, default=2.0,
+                       help="drain budget on shutdown before in-flight "
+                            "queries are cancelled")
 
     query = commands.add_parser("query", help="run SQL against a server")
-    query.add_argument("sql")
+    query.add_argument("sql", nargs="?", default=None)
     query.add_argument("--port", type=int, default=50000)
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--explain", action="store_true",
@@ -52,6 +66,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the plan's dot file instead of executing")
     query.add_argument("--pipeline", default=None,
                        help="optimizer pipeline for this session")
+    query.add_argument("--deadline", type=float, default=None,
+                       help="server-side deadline for this query (seconds)")
+    query.add_argument("--cancel", metavar="QUERY_ID", default=None,
+                       help="cancel a running query by id instead of "
+                            "executing SQL")
+    query.add_argument("--list", action="store_true",
+                       help="list running and recent queries instead of "
+                            "executing SQL")
 
     listen = commands.add_parser(
         "listen", help="textual Stethoscope: receive a UDP trace stream"
@@ -152,7 +174,12 @@ def _cmd_serve(args, out) -> int:
         counts = populate(db.catalog, scale_factor=args.scale)
         out.write(f"TPC-H sf={args.scale}: "
                   f"{counts['lineitem']} lineitems\n")
-    with Mserver(db, port=args.port) as server:
+    with Mserver(db, port=args.port,
+                 max_concurrent=args.max_concurrent,
+                 max_queue=args.max_queue,
+                 queue_wait_s=args.queue_wait,
+                 default_deadline_s=args.default_deadline,
+                 drain_seconds=args.drain_seconds) as server:
         out.write(f"Mserver listening on port {server.port}\n")
         out.flush()
         deadline = (time.monotonic() + args.max_seconds
@@ -170,6 +197,25 @@ def _cmd_query(args, out) -> int:
     from repro.server import MClient
 
     with MClient(host=args.host, port=args.port) as client:
+        if args.cancel:
+            landed = client.cancel(args.cancel)
+            out.write(f"cancel {args.cancel}: "
+                      + ("cancelled\n" if landed else "not running\n"))
+            return 0 if landed else 1
+        if args.list:
+            listing = client.queries()
+            for entry in listing["queries"]:
+                out.write(f"{entry['query_id']}\t{entry['state']}\t"
+                          f"{entry['elapsed_s']}s\t{entry['sql']}\n")
+            for entry in listing["recent"]:
+                out.write(f"{entry['query_id']}\t{entry['state']}\t"
+                          f"(finished)\t{entry['sql']}\n")
+            out.write(f"-- {len(listing['queries'])} running, "
+                      f"{len(listing['recent'])} recent\n")
+            return 0
+        if args.sql is None:
+            out.write("error: sql required unless --cancel/--list\n")
+            return 2
         if args.pipeline:
             client.set_pipeline(args.pipeline)
         if args.explain:
@@ -178,14 +224,16 @@ def _cmd_query(args, out) -> int:
         if args.dot:
             out.write(client.dot(args.sql) + "\n")
             return 0
-        result = client.query(args.sql)
+        result = client.query(args.sql, server_deadline_s=args.deadline)
         if result.kind == "rows":
             out.write("\t".join(result.columns) + "\n")
             for row in result.rows:
                 out.write("\t".join(str(v) for v in row) + "\n")
-            out.write(f"-- {len(result.rows)} row(s)\n")
+            out.write(f"-- {len(result.rows)} row(s) "
+                      f"[{result.query_id}]\n")
         else:
-            out.write(f"-- {result.kind}: {result.affected} row(s)\n")
+            out.write(f"-- {result.kind}: {result.affected} row(s) "
+                      f"[{result.query_id}]\n")
     return 0
 
 

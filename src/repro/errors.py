@@ -80,6 +80,37 @@ class RequestTimeoutError(ServerError):
     """A client request exceeded its per-request deadline."""
 
 
+class QueryCancelledError(ServerError):
+    """A running (or queued) query was cancelled before it finished.
+
+    Instances raised by the lifecycle layer carry a ``query_id``
+    attribute so clients can tell *which* query died.
+    """
+
+    def __init__(self, message: str, query_id: str = "") -> None:
+        super().__init__(message)
+        self.query_id = query_id
+
+
+class QueryDeadlineError(QueryCancelledError):
+    """A query ran past its server-side deadline and was force-cancelled
+    (usually by the stuck-query watchdog)."""
+
+
+class QueryBudgetError(QueryCancelledError):
+    """A query exceeded its resource budget (simulated RSS) mid-plan."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control shed the query: the execution slots were full
+    and the wait queue was at capacity (or the queue wait timed out).
+
+    The query never started executing, so re-submitting it is always
+    safe — :class:`~repro.server.client.MClient` retries these with
+    backoff.
+    """
+
+
 class ProfilerError(ReproError):
     """Errors from the profiler and trace I/O."""
 

@@ -19,6 +19,7 @@ Keep ``scale`` small: the sweep runs dozens of full query executions.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -27,6 +28,8 @@ from repro.errors import ReproError
 from repro.faults.plan import FaultPlan, armed
 
 #: The named fault mixes the acceptance sweep runs (spec-string form).
+#: Stall values are huge because the threaded scheduler sleeps
+#: ``value * realtime_scale(1e-4) / 1e6`` seconds — 4e8 is 0.04s real.
 MIXES: Dict[str, str] = {
     "drop10": "udp.emit:drop@0.10",
     "reorder": "udp.emit:reorder@0.25",
@@ -34,12 +37,20 @@ MIXES: Dict[str, str] = {
     "reset": "server.loop:reset@0.08#2;server.loop:latency=10@0.25",
     "worker-stall": ("scheduler.worker:stall=400@0.20;"
                      "scheduler.worker:crash@0.03#1"),
+    "overload": "scheduler.worker:stall=400000000@0.7#16",
+    "slow-query": "scheduler.worker:stall=1200000000@0.8#12",
 }
 
 #: Mixes whose faults touch only the UDP stream; for these the exact
 #: sent-vs-received accounting invariant holds (resets re-run queries
 #: and crashes truncate them, which makes counting ambiguous).
 UDP_ONLY_MIXES = ("drop10", "reorder", "dup")
+
+#: Mixes whose fault journals are legitimately nondeterministic:
+#: ``overload`` runs concurrent clients racing for the plan's RNG, and
+#: ``slow-query`` truncates execution at a wall-clock deadline — so the
+#: replay-journal determinism check does not apply to them.
+REPLAY_EXEMPT = ("overload", "slow-query")
 
 
 @dataclass
@@ -120,6 +131,10 @@ def run_case(server, seed: int, mix: str, spec: Optional[str] = None,
     from repro.server.client import MClient
 
     spec = MIXES[mix] if spec is None else spec
+    if mix == "overload":
+        return _run_overload_case(server, seed, spec, wall_cap_s)
+    if mix == "slow-query":
+        return _run_slow_query_case(server, seed, spec, wall_cap_s)
     plan = FaultPlan.from_spec(spec, seed=seed)
     sql = "select count(*) from lineitem where l_quantity > 10"
     sent_events = UDP_DATAGRAMS_SENT.labels(kind="event")
@@ -194,6 +209,158 @@ class _Typed:
             return ("typed-error", exc)
 
 
+def _check_responsive(server, violations: List[str]) -> None:
+    """After the storm: the server must still answer a trivial call."""
+    from repro.server.client import MClient
+
+    try:
+        client = MClient(port=server.port, timeout=5.0, retries=1,
+                         deadline_s=5.0, retry_seed=0)
+        try:
+            if not client.ping():
+                violations.append("server unresponsive after case")
+        finally:
+            client.close()
+    except ReproError as exc:
+        violations.append(f"server unresponsive after case: {exc!r}")
+
+
+def _run_overload_case(server, seed: int, spec: str,
+                       wall_cap_s: float) -> CaseResult:
+    """The ``overload`` mix: more clients than the server will admit.
+
+    Squeezes admission down to one slot and a one-deep queue, then
+    fires four concurrent clients at slow (stalled) queries.  The
+    invariants: every client ends with rows or a typed error (the
+    overload-aware retry means some sheds recover), at least one query
+    succeeds, the shed counter advanced, and the server answers a
+    trivial call afterwards.
+    """
+    from repro.metrics.families import SERVER_QUERIES_SHED
+    from repro.server.client import MClient
+
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    sql = "select count(*) from lineitem where l_quantity > 10"
+    shed_counters = [SERVER_QUERIES_SHED.labels(reason=r)
+                     for r in ("queue-full", "queue-wait", "stopping")]
+    shed_before = sum(c.value() for c in shed_counters)
+    clients = 4
+    outcomes: List[Optional[Tuple[str, object]]] = [None] * clients
+    barrier = threading.Barrier(clients)
+    violations: List[str] = []
+
+    def attack(i: int) -> None:
+        try:
+            client = MClient(port=server.port, timeout=5.0, retries=2,
+                             backoff_base_s=0.05, backoff_max_s=0.2,
+                             deadline_s=wall_cap_s / 2,
+                             retry_seed=seed * 10 + i)
+            try:
+                client.set_scheduler("threaded")
+                barrier.wait(timeout=5.0)
+                outcomes[i] = ("rows", client.query(sql).rows)
+            finally:
+                client.close()
+        except ReproError as exc:
+            outcomes[i] = ("typed-error", exc)
+        except Exception as exc:  # untyped → invariant violation
+            outcomes[i] = ("untyped", exc)
+
+    began = time.monotonic()
+    admission = server.admission
+    restore = dict(max_concurrent=admission.max_concurrent,
+                   max_queue=admission.max_queue,
+                   queue_wait_s=admission.queue_wait_s)
+    admission.configure(max_concurrent=1, max_queue=1, queue_wait_s=0.25)
+    try:
+        with armed(plan):
+            threads = [threading.Thread(target=attack, args=(i,))
+                       for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=wall_cap_s)
+                if thread.is_alive():
+                    violations.append("client thread hung past the cap")
+    finally:
+        admission.configure(**restore)
+    wall_s = time.monotonic() - began
+    if wall_s >= wall_cap_s:
+        violations.append(f"case ran {wall_s:.1f}s >= cap {wall_cap_s}s")
+    successes = sum(1 for o in outcomes if o and o[0] == "rows")
+    for i, o in enumerate(outcomes):
+        if o is None:
+            violations.append(f"client {i} produced no outcome")
+        elif o[0] == "untyped":
+            violations.append(f"client {i} untyped failure: {o[1]!r}")
+    if successes == 0:
+        violations.append("no client succeeded under overload")
+    shed_delta = sum(c.value() for c in shed_counters) - shed_before
+    if shed_delta < 1:
+        violations.append("admission never shed despite 4x overload")
+    _check_responsive(server, violations)
+    first_error = next((repr(o[1]) for o in outcomes
+                        if o and o[0] != "rows"), "")
+    return CaseResult(
+        seed=seed, mix="overload", ok=not violations, wall_s=wall_s,
+        outcome="rows" if successes else "typed-error", error=first_error,
+        fault_fires=len(plan.journal), journal=list(plan.journal),
+        violations=violations,
+    )
+
+
+def _run_slow_query_case(server, seed: int, spec: str,
+                         wall_cap_s: float) -> CaseResult:
+    """The ``slow-query`` mix: a stalled plan against a tight deadline.
+
+    Heavy worker stalls push one threaded query far past its 0.25s
+    server-side deadline; the watchdog (or the inline check) must
+    cancel it with a typed :class:`~repro.errors.QueryDeadlineError`
+    carrying the query id, the deadline counter must advance, and the
+    server must stay responsive.
+    """
+    from repro.errors import QueryDeadlineError
+    from repro.metrics.families import SERVER_QUERY_DEADLINE_EXCEEDED
+    from repro.server.client import MClient
+
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    sql = "select count(*) from lineitem where l_quantity > 10"
+    exceeded_before = SERVER_QUERY_DEADLINE_EXCEEDED.value()
+    violations: List[str] = []
+    outcome, error = "rows", ""
+    began = time.monotonic()
+    with armed(plan):
+        try:
+            client = MClient(port=server.port, timeout=5.0, retries=0,
+                             deadline_s=wall_cap_s / 2, retry_seed=seed)
+            try:
+                client.set_scheduler("threaded")
+                client.query(sql, server_deadline_s=0.25)
+                violations.append(
+                    "stalled query finished before its 0.25s deadline")
+            finally:
+                client.close()
+        except QueryDeadlineError as exc:
+            outcome, error = "typed-error", repr(exc)
+            if not exc.query_id:
+                violations.append("deadline error carried no query_id")
+        except ReproError as exc:
+            outcome, error = "typed-error", repr(exc)
+            violations.append(f"expected QueryDeadlineError, got {exc!r}")
+    wall_s = time.monotonic() - began
+    if wall_s >= wall_cap_s:
+        violations.append(f"case ran {wall_s:.1f}s >= cap {wall_cap_s}s")
+    if SERVER_QUERY_DEADLINE_EXCEEDED.value() <= exceeded_before:
+        violations.append("deadline-exceeded counter did not advance")
+    _check_responsive(server, violations)
+    return CaseResult(
+        seed=seed, mix="slow-query", ok=not violations, wall_s=wall_s,
+        outcome=outcome, error=error,
+        fault_fires=len(plan.journal), journal=list(plan.journal),
+        violations=violations,
+    )
+
+
 def run_sweep(seeds: Sequence[int], mixes: Optional[Sequence[str]] = None,
               scale: float = 0.01, workdir: str = ".",
               wall_cap_s: float = 20.0, replay_sample: int = 2,
@@ -228,6 +395,9 @@ def run_sweep(seeds: Sequence[int], mixes: Optional[Sequence[str]] = None,
                         f"{case.completeness * 100:.0f}% complete, "
                         f"{case.fault_fires} faults)")
             # determinism: re-run a sample and compare journals
+            # (skipped for mixes whose journals are racy by design)
+            if mix in REPLAY_EXEMPT:
+                continue
             for case in [c for c in report.cases
                          if c.mix == mix][:replay_sample]:
                 again = run_case(server, case.seed, mix, workdir=workdir,

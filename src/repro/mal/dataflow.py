@@ -27,9 +27,13 @@ from __future__ import annotations
 import heapq
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Set, Tuple)
 
-from repro.errors import MalRuntimeError, WorkerCrashError
+from repro.errors import MalRuntimeError, ReproError, WorkerCrashError
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a repro.server import cycle
+    from repro.server.lifecycle import QueryContext
 from repro.faults.plan import ACTIVE
 from repro.mal.ast import MalInstruction, MalProgram
 from repro.mal.interpreter import (
@@ -84,8 +88,14 @@ class SimulatedScheduler:
         self.listener = listener
         self.contention = contention
 
-    def run(self, program: MalProgram) -> ExecutionResult:
-        """Execute ``program``; returns results plus scheduled run records."""
+    def run(self, program: MalProgram,
+            context: Optional["QueryContext"] = None) -> ExecutionResult:
+        """Execute ``program``; returns results plus scheduled run records.
+
+        ``context`` (a :class:`~repro.server.lifecycle.QueryContext`)
+        is checked at every dispatch, so cancellation and budget limits
+        stop the plan at an instruction boundary.
+        """
         program.validate()
         fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
@@ -109,6 +119,8 @@ class SimulatedScheduler:
         # that by adding an artificial dependency chain between them.
         self._chain_side_effects(program, pending, ready, ready_time)
         while scheduled < total:
+            if context is not None:
+                context.check(ctx.rss_bytes())
             if not ready:
                 raise MalRuntimeError("dataflow deadlock: no ready instruction")
             ready_usec, pc = heapq.heappop(ready)
@@ -207,8 +219,14 @@ class ThreadedScheduler:
         self.listener = listener
         self.realtime_scale = realtime_scale
 
-    def run(self, program: MalProgram) -> ExecutionResult:
-        """Execute ``program`` on the worker pool; blocks until done."""
+    def run(self, program: MalProgram,
+            context: Optional["QueryContext"] = None) -> ExecutionResult:
+        """Execute ``program`` on the worker pool; blocks until done.
+
+        Workers check ``context`` between instructions, so a cancel (or
+        an expired deadline) stops the plan within one instruction
+        boundary instead of waiting for the whole plan.
+        """
         program.validate()
         fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
@@ -230,10 +248,27 @@ class ThreadedScheduler:
 
         def worker(widx: int) -> None:
             while True:
+                if context is not None:
+                    try:
+                        context.check()
+                    except ReproError as exc:
+                        with ready_cv:
+                            failure.append(exc)
+                            ready_cv.notify_all()
+                        return
                 with ready_cv:
-                    while not ready and remaining[0] > 0 and not failure:
+                    while not ready and remaining[0] > 0 and not failure \
+                            and not (context is not None
+                                     and context.cancelled):
                         ready_cv.wait(0.05)
-                    if failure or remaining[0] <= 0:
+                    if failure or remaining[0] <= 0 or \
+                            (context is not None and context.cancelled):
+                        if context is not None and context.cancelled \
+                                and not failure and remaining[0] > 0:
+                            try:
+                                context.check()
+                            except ReproError as exc:
+                                failure.append(exc)
                         ready_cv.notify_all()
                         return
                     pc = ready.pop(0)
@@ -263,6 +298,8 @@ class ThreadedScheduler:
                     self.listener("start", start_run)
                 try:
                     with lock:
+                        if context is not None:
+                            context.check(ctx.rss_bytes())
                         inputs = [ctx.value_of(a) for a in instr.args]
                     # run the implementation outside the env lock
                     from repro.mal.modules import lookup

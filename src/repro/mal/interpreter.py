@@ -20,9 +20,13 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
 from repro.errors import MalRuntimeError
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a repro.server import cycle
+    from repro.server.lifecycle import QueryContext
 from repro.mal.ast import Const, MalInstruction, MalProgram, Var
 from repro.mal.modules import lookup
 from repro.metrics.families import (
@@ -257,9 +261,16 @@ class Interpreter:
         self.listener = listener
         self.realtime_scale = realtime_scale
 
-    def run(self, program: MalProgram) -> ExecutionResult:
+    def run(self, program: MalProgram,
+            context: Optional["QueryContext"] = None) -> ExecutionResult:
         """Execute ``program`` start to finish; returns its results and
-        the per-instruction run records."""
+        the per-instruction run records.
+
+        ``context`` is an optional
+        :class:`~repro.server.lifecycle.QueryContext`; when given, it is
+        checked before every instruction so cancellation, deadlines and
+        RSS budgets take effect at instruction boundaries.
+        """
         program.validate()
         ctx = EvalContext(self.catalog, program)
         clock = 0
@@ -267,6 +278,8 @@ class Interpreter:
         from repro.mal.printer import format_instruction
 
         for instr in program.instructions:
+            if context is not None:
+                context.check(ctx.rss_bytes())
             stmt = format_instruction(instr, program)
             start_run = InstructionRun(
                 pc=instr.pc, stmt=stmt, module=instr.module,

@@ -33,8 +33,8 @@ SERVER_CONNECTIONS_ACTIVE = REGISTRY.gauge(
 
 SERVER_REQUESTS = REGISTRY.counter(
     "repro_server_requests_total",
-    "Protocol requests handled, by op (ping, query, explain, dot, set, "
-    "profiler, stats, quit).",
+    "Protocol requests handled, by op (ping, query, cancel, queries, "
+    "explain, dot, set, profiler, stats, quit).",
     labels=("op",),
     unit="requests",
 )
@@ -48,11 +48,69 @@ SERVER_REQUEST_ERRORS = REGISTRY.counter(
 
 SERVER_QUERY_USEC = REGISTRY.histogram(
     "repro_server_query_usec",
-    "Wall-clock latency of query ops as served (includes queueing on "
-    "the execution lock).",
+    "Wall-clock latency of query ops as served (includes queueing in "
+    "the admission controller).",
     unit="usec",
     buckets=(100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
              10_000_000.0),
+)
+
+# --------------------------------------------------------------------------
+# repro.server.lifecycle — query supervision and admission control
+# --------------------------------------------------------------------------
+
+SERVER_QUERIES_ADMITTED = REGISTRY.counter(
+    "repro_server_queries_admitted_total",
+    "Queries that passed admission control and got an execution slot.",
+    unit="queries",
+)
+
+SERVER_QUERIES_SHED = REGISTRY.counter(
+    "repro_server_queries_shed_total",
+    "Queries rejected by admission control, by reason (queue-full, "
+    "queue-wait, stopping). Raised to the client as "
+    "ServerOverloadedError.",
+    labels=("reason",),
+    unit="queries",
+)
+
+SERVER_QUERIES_CANCELLED = REGISTRY.counter(
+    "repro_server_queries_cancelled_total",
+    "Queries cancelled before completing, by source (client cancel op, "
+    "watchdog deadline enforcement, drain shutdown, inline deadline or "
+    "rss-budget checks).",
+    labels=("source",),
+    unit="queries",
+)
+
+SERVER_QUERY_DEADLINE_EXCEEDED = REGISTRY.counter(
+    "repro_server_query_deadline_exceeded_total",
+    "Queries force-cancelled because they ran past their server-side "
+    "deadline (watchdog or inline discovery).",
+    unit="queries",
+)
+
+SERVER_DRAINS = REGISTRY.counter(
+    "repro_server_drains_total",
+    "Graceful drain shutdowns, by outcome: clean (all in-flight "
+    "queries finished inside the drain budget) or forced (stragglers "
+    "were cancelled).",
+    labels=("outcome",),
+    unit="drains",
+)
+
+SERVER_ADMISSION_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_server_admission_queue_depth",
+    "Queries currently waiting in the bounded admission queue for an "
+    "execution slot.",
+    unit="queries",
+)
+
+SERVER_QUERIES_ACTIVE = REGISTRY.gauge(
+    "repro_server_queries_active",
+    "Queries currently holding an execution slot (running, not "
+    "queued).",
+    unit="queries",
 )
 
 # --------------------------------------------------------------------------

@@ -6,6 +6,13 @@ requests that die mid-flight are retried with exponential backoff and
 jitter (reconnecting and replaying session state first), and every
 request observes a per-request deadline that converts into a
 :class:`~repro.errors.RequestTimeoutError` instead of blocking forever.
+
+Server responses carrying an error ``code`` are re-raised as the typed
+lifecycle error they encode (``QueryCancelledError``,
+``QueryDeadlineError``, ``QueryBudgetError``, ``ServerOverloadedError``)
+with the server-assigned ``query_id`` attached.  Overload sheds get
+their own retry classification: the query never ran, so it is safe to
+re-send after backoff — without reconnecting — even for writes.
 """
 
 from __future__ import annotations
@@ -20,10 +27,15 @@ from repro.errors import (
     ConnectionLostError,
     ReproError,
     RequestTimeoutError,
-    ServerError,
+    ServerOverloadedError,
 )
 from repro.metrics.families import CLIENT_DEADLINE_EXCEEDED, CLIENT_RETRIES
-from repro.server.protocol import decode_message, decode_rows, encode_message
+from repro.server.protocol import (
+    decode_message,
+    decode_rows,
+    encode_message,
+    error_from_payload,
+)
 
 
 class MClient:
@@ -59,6 +71,7 @@ class MClient:
                 payload.get("rows", [])
             )
             self.affected: int = payload.get("affected", 0)
+            self.query_id: str = payload.get("query_id", "")
 
     def __init__(self, host: str = "127.0.0.1", port: int = 50000,
                  timeout: float = 30.0, retries: int = 2,
@@ -148,6 +161,27 @@ class MClient:
                 response = self._call_once(request, deadline)
             except RequestTimeoutError:
                 raise
+            except ServerOverloadedError as exc:
+                # the shed query never ran, so re-sending is safe even
+                # for writes — back off on the same connection and let
+                # the admission queue clear
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                CLIENT_RETRIES.labels(op=op).inc()
+                nominal = min(self.backoff_max_s,
+                              self.backoff_base_s * (2 ** (attempt - 1)))
+                delay = nominal * (0.5 + self._rng.random() / 2.0)
+                if deadline is not None and \
+                        time.monotonic() + delay >= deadline:
+                    CLIENT_DEADLINE_EXCEEDED.inc()
+                    raise RequestTimeoutError(
+                        f"{op} to {self.host}:{self.port} exceeded its "
+                        f"{budget:g}s deadline after {attempt} "
+                        "overloaded attempt(s)"
+                    ) from exc
+                time.sleep(delay)
+                continue
             except (ConnectionFailedError, ConnectionLostError,
                     OSError) as exc:
                 self._teardown()
@@ -207,7 +241,7 @@ class MClient:
         line, self._buffer = self._buffer.split(b"\n", 1)
         response = decode_message(line)
         if not response.get("ok"):
-            raise ServerError(response.get("error", "request failed"))
+            raise error_from_payload(response)
         return response
 
     def _slice(self, deadline: Optional[float]) -> float:
@@ -239,17 +273,45 @@ class MClient:
         return self._call({"op": "stats"})["metrics"]
 
     def query(self, sql: str,
-              deadline_s: Optional[float] = None) -> "MClient.Result":
+              deadline_s: Optional[float] = None,
+              server_deadline_s: Optional[float] = None,
+              max_rss_bytes: Optional[int] = None) -> "MClient.Result":
         """Execute one SQL statement.
+
+        ``server_deadline_s`` asks the server to cancel the query when
+        its wall clock exceeds the budget (typed
+        ``QueryDeadlineError``); ``max_rss_bytes`` bounds the query's
+        simulated resident set (``QueryBudgetError``).  ``deadline_s``
+        is the *client-side* budget covering transport and retries.
 
         Only SELECTs are retried after a connection loss — a data
         statement may already have applied on the server side, so
-        re-sending it is not safe.
+        re-sending it is not safe.  Overload sheds are retried for any
+        statement: a shed query never started.
         """
+        request: Dict[str, Any] = {"op": "query", "sql": sql}
+        if server_deadline_s is not None:
+            request["deadline_s"] = server_deadline_s
+        if max_rss_bytes is not None:
+            request["max_rss_bytes"] = max_rss_bytes
         retryable = sql.lstrip()[:6].lower().startswith("select")
-        return MClient.Result(self._call({"op": "query", "sql": sql},
-                                         deadline_s=deadline_s,
+        return MClient.Result(self._call(request, deadline_s=deadline_s,
                                          retryable=retryable))
+
+    def cancel(self, query_id: str) -> bool:
+        """Cancel a running query by its server-assigned id.
+
+        Returns True when the cancel landed on a live query; False when
+        the id is unknown or the query already finished.
+        """
+        return bool(self._call({"op": "cancel",
+                                "query_id": query_id}).get("cancelled"))
+
+    def queries(self) -> Dict[str, Any]:
+        """Queued/running queries plus recently finished ones."""
+        response = self._call({"op": "queries"})
+        return {"queries": response.get("queries", []),
+                "recent": response.get("recent", [])}
 
     def explain(self, sql: str) -> str:
         """The optimized MAL plan text of a SELECT."""
@@ -266,6 +328,10 @@ class MClient:
     def set_workers(self, workers: int) -> None:
         """Choose the dataflow worker count."""
         self._call({"op": "set", "workers": workers})
+
+    def set_scheduler(self, name: str) -> None:
+        """Choose the execution scheduler (simulated or threaded)."""
+        self._call({"op": "set", "scheduler": name})
 
     def set_profiler(self, port: int, host: str = "127.0.0.1",
                      filter_options: Optional[Dict[str, Any]] = None) -> None:

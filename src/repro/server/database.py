@@ -13,8 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.dot.writer import plan_to_dot
 from repro.errors import SqlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.lifecycle import QueryContext
 from repro.mal.ast import MalProgram
 from repro.mal.dataflow import SimulatedScheduler, ThreadedScheduler
 from repro.mal.interpreter import ExecutionResult, Interpreter, RunListener
@@ -70,58 +75,83 @@ class Database:
         pipeline_by_name(name)  # raises on unknown names
         self.pipeline_name = name
 
-    def _pipeline(self) -> Pipeline:
-        if self.pipeline_name == "default_pipe":
+    def _pipeline(self, name: Optional[str] = None,
+                  workers: Optional[int] = None) -> Pipeline:
+        name = name or self.pipeline_name
+        workers = workers or self.workers
+        if name == "default_pipe":
             pipeline = pipeline_by_name(
-                "default_pipe", nparts=self.workers,
+                "default_pipe", nparts=workers,
                 mitosis_threshold=self.mitosis_threshold,
             )
             for opt_pass in pipeline.passes:
                 if isinstance(opt_pass, Mitosis):
                     opt_pass.catalog = self.catalog
             return pipeline
-        return pipeline_by_name(self.pipeline_name)
+        return pipeline_by_name(name)
 
     # ------------------------------------------------------------------
 
-    def compile(self, sql: str) -> MalProgram:
-        """Compile a SELECT to its optimized MAL plan."""
+    def compile(self, sql: str, pipeline_name: Optional[str] = None,
+                workers: Optional[int] = None) -> MalProgram:
+        """Compile a SELECT to its optimized MAL plan.
+
+        ``pipeline_name``/``workers`` override the instance defaults for
+        this one compilation — how the server applies per-session
+        settings without mutating the shared database.
+        """
         program = self.compiler.compile_text(sql)
-        program = self._pipeline().apply(program)
+        program = self._pipeline(pipeline_name, workers).apply(program)
         self.last_program = program
         return program
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, pipeline_name: Optional[str] = None,
+                workers: Optional[int] = None) -> str:
         """The optimized MAL plan as text (``EXPLAIN``)."""
-        return format_program(self.compile(sql))
+        return format_program(self.compile(sql, pipeline_name, workers))
 
-    def dot(self, sql: str) -> str:
+    def dot(self, sql: str, pipeline_name: Optional[str] = None,
+            workers: Optional[int] = None) -> str:
         """The optimized plan's dot file."""
-        return plan_to_dot(self.compile(sql))
+        return plan_to_dot(self.compile(sql, pipeline_name, workers))
 
     def execute(self, sql: str,
-                listener: Optional[RunListener] = None) -> QueryOutcome:
+                listener: Optional[RunListener] = None,
+                context: Optional["QueryContext"] = None,
+                pipeline_name: Optional[str] = None,
+                workers: Optional[int] = None,
+                scheduler: Optional[str] = None) -> QueryOutcome:
         """Execute one SQL statement.
 
         ``listener`` (usually a :class:`~repro.profiler.Profiler`)
         receives the instruction run records of SELECT execution.
+        ``context`` is an optional
+        :class:`~repro.server.lifecycle.QueryContext` checked at every
+        instruction boundary (cancellation, deadline, RSS budget).
+        ``pipeline_name``/``workers``/``scheduler`` are per-call
+        overrides of the instance defaults; the server uses them to
+        apply per-session settings without mutating shared state.
 
         MonetDB's statement modifiers are supported: ``EXPLAIN SELECT
         ...`` returns the optimized MAL plan as one text column instead
         of executing, and ``TRACE SELECT ...`` executes the query and
         returns its profiler trace as rows.
         """
+        if context is not None:
+            context.check()
         stripped = sql.lstrip()
         head = stripped[:8].lower()
         if head.startswith("explain "):
-            plan_text = self.explain(stripped[len("explain "):])
+            plan_text = self.explain(stripped[len("explain "):],
+                                     pipeline_name, workers)
             outcome = QueryOutcome(kind="rows", columns=["mal"],
                                    rows=[(line,) for line in
                                          plan_text.splitlines()])
             outcome.program = self.last_program
             return outcome
         if head.startswith("trace "):
-            return self._execute_traced(stripped[len("trace "):])
+            return self._execute_traced(stripped[len("trace "):], context,
+                                        pipeline_name, workers, scheduler)
         statement = parse_sql(sql)
         if isinstance(statement, CreateTable):
             self.catalog.create_table_from_sql_types(
@@ -135,9 +165,10 @@ class Database:
             return self._execute_insert(statement)
         if isinstance(statement, Select):
             program = self.compiler.compile(statement)
-            program = self._pipeline().apply(program)
+            program = self._pipeline(pipeline_name, workers).apply(program)
             self.last_program = program
-            execution = self.run_program(program, listener)
+            execution = self.run_program(program, listener, context,
+                                         workers, scheduler)
             result_set = execution.first
             return QueryOutcome(
                 kind="rows",
@@ -149,26 +180,37 @@ class Database:
         raise SqlError(f"unsupported statement {type(statement).__name__}")
 
     def run_program(self, program: MalProgram,
-                    listener: Optional[RunListener] = None
-                    ) -> ExecutionResult:
+                    listener: Optional[RunListener] = None,
+                    context: Optional["QueryContext"] = None,
+                    workers: Optional[int] = None,
+                    scheduler: Optional[str] = None) -> ExecutionResult:
         """Execute an already-compiled plan on the configured scheduler."""
-        if self.scheduler == "threaded":
+        workers = workers or self.workers
+        scheduler = scheduler or self.scheduler
+        if scheduler == "threaded":
             return ThreadedScheduler(
-                self.catalog, workers=self.workers, listener=listener,
+                self.catalog, workers=workers, listener=listener,
                 realtime_scale=1e-4,
-            ).run(program)
+            ).run(program, context)
         if program.dataflow_enabled:
             return SimulatedScheduler(
-                self.catalog, workers=self.workers, listener=listener
-            ).run(program)
-        return Interpreter(self.catalog, listener=listener).run(program)
+                self.catalog, workers=workers, listener=listener
+            ).run(program, context)
+        return Interpreter(self.catalog, listener=listener).run(program,
+                                                                context)
 
-    def _execute_traced(self, sql: str) -> QueryOutcome:
+    def _execute_traced(self, sql: str,
+                        context: Optional["QueryContext"] = None,
+                        pipeline_name: Optional[str] = None,
+                        workers: Optional[int] = None,
+                        scheduler: Optional[str] = None) -> QueryOutcome:
         """``TRACE SELECT ...``: run the query, return its trace rows."""
         from repro.profiler import Profiler
 
         profiler = Profiler()
-        inner = self.execute(sql, listener=profiler)
+        inner = self.execute(sql, listener=profiler, context=context,
+                             pipeline_name=pipeline_name, workers=workers,
+                             scheduler=scheduler)
         rows = [
             (e.event, e.clock_usec, e.status, e.pc, e.thread, e.usec,
              e.rss_bytes, e.stmt)

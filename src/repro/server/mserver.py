@@ -1,11 +1,21 @@
 """The Mserver TCP server: a background process listening for clients.
 
 Each accepted client gets its own handler thread and its own session
-state (optimizer pipeline choice, profiler streaming target and filter).
+state (optimizer pipeline choice, worker count, scheduler, profiler
+streaming target and filter — all per-session, applied at execute time).
 When a profiler target is set, every subsequent SELECT first ships its
 plan's dot file over the UDP stream, then streams the execution trace
 events, then an end marker — exactly the online-mode contract the
 Stethoscope expects (paper §4.2).
+
+Query execution is supervised by the lifecycle layer
+(:mod:`repro.server.lifecycle`): every query gets a server-assigned id
+and a cancellation token threaded down to the schedulers, admission
+control bounds concurrency with typed load-shedding instead of one
+global lock, a watchdog force-cancels queries past their deadline, and
+``stop()`` drains gracefully — stops accepting, lets in-flight queries
+finish inside the drain budget, cancels stragglers and closes every
+tracked client socket instead of abandoning handler threads.
 """
 
 from __future__ import annotations
@@ -13,10 +23,11 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ReproError, ServerError
 from repro.faults.plan import ACTIVE
+from repro.mal.optimizer import pipeline_by_name
 from repro.metrics import snapshot as metrics_snapshot
 from repro.metrics.families import (
     SERVER_CONNECTIONS,
@@ -25,17 +36,27 @@ from repro.metrics.families import (
     SERVER_REQUESTS,
     SERVER_REQUEST_ERRORS,
 )
-from repro.profiler.events import TraceEvent
 from repro.profiler.filters import EventFilter
 from repro.profiler.profiler import Profiler
 from repro.profiler.stream import UdpEmitter
 from repro.server.database import Database
+from repro.server.lifecycle import (
+    AdmissionController,
+    QueryRegistry,
+    StuckQueryWatchdog,
+    record_drain,
+)
 from repro.server.protocol import (
     MAX_MESSAGE_BYTES,
     decode_message,
     encode_message,
     encode_rows,
+    error_payload,
 )
+
+#: Statement heads that only read — they share execution slots; anything
+#: else (DDL, INSERT) admits exclusively.
+_READ_HEADS = ("select", "explain", "trace")
 
 
 class Mserver:
@@ -45,18 +66,40 @@ class Mserver:
         database: the execution environment to serve.
         host/port: listen address (port 0 → ephemeral; read
             :attr:`port` after :meth:`start`).
+        max_concurrent: execution slots shared by concurrent SELECTs
+            (writes are exclusive).
+        max_queue: queries allowed to wait for a slot before admission
+            sheds with :class:`~repro.errors.ServerOverloadedError`.
+        queue_wait_s: longest a query may wait in the admission queue.
+        default_deadline_s: server-side deadline applied to queries
+            that do not carry their own ``deadline_s``.
+        drain_seconds: default drain budget :meth:`stop` grants
+            in-flight queries before cancelling them.
     """
 
     def __init__(self, database: Database, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, max_concurrent: int = 4,
+                 max_queue: int = 16, queue_wait_s: float = 5.0,
+                 default_deadline_s: Optional[float] = None,
+                 drain_seconds: float = 2.0,
+                 watchdog_interval_s: float = 0.05) -> None:
         self.database = database
         self.host = host
         self._requested_port = port
         self.port: Optional[int] = None
+        self.default_deadline_s = default_deadline_s
+        self.drain_seconds = drain_seconds
+        self.registry = QueryRegistry()
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent, max_queue=max_queue,
+            queue_wait_s=queue_wait_s)
+        self.watchdog = StuckQueryWatchdog(
+            self.registry, interval_s=watchdog_interval_s)
         self._socket: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
-        self._lock = threading.Lock()  # serialises query execution
+        self._clients_lock = threading.Lock()
+        self._clients: Dict[socket.socket, threading.Thread] = {}
 
     # ------------------------------------------------------------------
 
@@ -64,26 +107,66 @@ class Mserver:
         """Bind, listen, and serve in a background thread."""
         if self._socket is not None:
             raise ServerError("server already started")
+        self._stopping.clear()
+        self.admission.end_drain()
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((self.host, self._requested_port))
         self._socket.listen(16)
         self._socket.settimeout(0.2)
         self.port = self._socket.getsockname()[1]
+        self.watchdog.start()
         self._accept_thread = threading.Thread(target=self._serve,
                                                daemon=True)
         self._accept_thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting and close the listen socket."""
+    def stop(self, drain_seconds: Optional[float] = None) -> None:
+        """Graceful drain shutdown.
+
+        Stops accepting (new queries shed as ``stopping``), waits up to
+        ``drain_seconds`` for in-flight queries to finish, force-cancels
+        the stragglers, then closes every tracked client socket and
+        joins the handler threads — nothing is left behind for a socket
+        timeout to reap.
+        """
+        budget = self.drain_seconds if drain_seconds is None \
+            else drain_seconds
         self._stopping.set()
+        self.admission.begin_drain()
         if self._socket is not None:
             self._socket.close()
             self._socket = None
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
+        deadline = time.monotonic() + max(0.0, budget)
+        while self.registry.active_count() and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        forced = self.registry.cancel_all(
+            f"server draining (budget {budget:g}s exhausted)",
+            source="drain")
+        record_drain(forced=bool(forced))
+        # give cancelled queries a moment to unwind and answer their
+        # clients with the typed error before the sockets close
+        grace = time.monotonic() + 1.0
+        while self.registry.active_count() and time.monotonic() < grace:
+            time.sleep(0.02)
+        with self._clients_lock:
+            clients = list(self._clients.items())
+        for client, _thread in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+        for _client, thread in clients:
+            thread.join(timeout=2.0)
+        self.watchdog.stop()
 
     def __enter__(self) -> "Mserver":
         return self.start()
@@ -102,9 +185,12 @@ class Mserver:
                 continue
             except OSError:
                 return
-            threading.Thread(
+            thread = threading.Thread(
                 target=self._handle_client, args=(client,), daemon=True
-            ).start()
+            )
+            with self._clients_lock:
+                self._clients[client] = thread
+            thread.start()
 
     def _handle_client(self, client: socket.socket) -> None:
         session = _ClientSession(self)
@@ -137,7 +223,7 @@ class Mserver:
                         op = str(request["op"])
                     response = session.handle(request)
                 except ReproError as exc:
-                    response = {"ok": False, "error": str(exc)}
+                    response = error_payload(exc)
                 except Exception as exc:  # surface, do not kill server
                     response = {"ok": False,
                                 "error": f"internal error: {exc}"}
@@ -163,16 +249,30 @@ class Mserver:
         finally:
             SERVER_CONNECTIONS_ACTIVE.dec()
             session.close()
-            client.close()
+            try:
+                client.close()
+            except OSError:
+                pass
+            with self._clients_lock:
+                self._clients.pop(client, None)
 
 
 class _ClientSession:
-    """Per-connection state and request dispatch."""
+    """Per-connection state and request dispatch.
+
+    ``pipeline_name``/``workers``/``scheduler`` are session-local
+    overrides applied at execute time — ``op=set`` never mutates the
+    shared :class:`~repro.server.database.Database`, so one client's
+    settings cannot leak into another's queries.
+    """
 
     def __init__(self, server: Mserver) -> None:
         self.server = server
         self.emitter: Optional[UdpEmitter] = None
         self.event_filter = EventFilter()
+        self.pipeline_name: Optional[str] = None
+        self.workers: Optional[int] = None
+        self.scheduler: Optional[str] = None
 
     def close(self) -> None:
         if self.emitter is not None:
@@ -195,26 +295,42 @@ class _ClientSession:
             return self._handle_profiler(request)
         if op == "query":
             return self._handle_query(request)
+        if op == "cancel":
+            return self._handle_cancel(request)
+        if op == "queries":
+            return {"ok": True,
+                    "queries": self.server.registry.list(),
+                    "recent": self.server.registry.recent()}
+        # explain/dot/stats never enter admission, so they stay
+        # responsive while the execution slots are busy
         if op == "explain":
-            with self.server._lock:
-                return {"ok": True,
-                        "plan": self.server.database.explain(
-                            request.get("sql", ""))}
+            return {"ok": True,
+                    "plan": self.server.database.explain(
+                        request.get("sql", ""),
+                        self.pipeline_name, self.workers)}
         if op == "dot":
-            with self.server._lock:
-                return {"ok": True,
-                        "dot": self.server.database.dot(
-                            request.get("sql", ""))}
+            return {"ok": True,
+                    "dot": self.server.database.dot(
+                        request.get("sql", ""),
+                        self.pipeline_name, self.workers)}
         raise ServerError(f"unknown op {op!r}")
 
     def _handle_set(self, request: Dict) -> Dict:
         if "pipeline" in request:
-            self.server.database.set_pipeline(request["pipeline"])
+            pipeline_by_name(request["pipeline"])  # validate eagerly
+            self.pipeline_name = request["pipeline"]
         if "workers" in request:
             workers = int(request["workers"])
             if workers < 1:
                 raise ServerError("workers must be >= 1")
-            self.server.database.workers = workers
+            self.workers = workers
+        if "scheduler" in request:
+            scheduler = str(request["scheduler"])
+            if scheduler not in ("simulated", "threaded"):
+                raise ServerError(
+                    f"unknown scheduler {scheduler!r}; valid: "
+                    "simulated, threaded")
+            self.scheduler = scheduler
         return {"ok": True}
 
     def _handle_profiler(self, request: Dict) -> Dict:
@@ -234,25 +350,56 @@ class _ClientSession:
         )
         return {"ok": True}
 
+    def _handle_cancel(self, request: Dict) -> Dict:
+        query_id = str(request.get("query_id", ""))
+        verdict = self.server.registry.cancel(query_id, source="client")
+        return {"ok": True, "query_id": query_id, **verdict}
+
     def _handle_query(self, request: Dict) -> Dict:
         sql = request.get("sql", "")
-        database = self.server.database
+        server = self.server
+        database = server.database
+        deadline_s = request.get("deadline_s", server.default_deadline_s)
+        context = server.registry.register(
+            sql, deadline_s=deadline_s,
+            rss_budget_bytes=request.get("max_rss_bytes"))
+        head = sql.lstrip()[:8].lower()
+        exclusive = not head.startswith(_READ_HEADS)
+        state = "failed"
         began = time.perf_counter()
-        with self.server._lock:
-            if self.emitter is None:
-                outcome = database.execute(sql)
-            else:
-                profiler = Profiler(self.event_filter, keep_events=False)
-                profiler.add_sink(self.emitter)
-                # ship the plan's dot file before execution begins
-                statement_kind = sql.lstrip()[:6].lower()
-                if statement_kind.startswith("select"):
-                    self.emitter.send_dot(database.dot(sql))
-                outcome = database.execute(sql, listener=profiler)
-                self.emitter.send_end()
-        SERVER_QUERY_USEC.observe((time.perf_counter() - began) * 1e6)
+        try:
+            with server.admission.slot(context, exclusive=exclusive):
+                context.mark_running()
+                if self.emitter is None:
+                    outcome = database.execute(
+                        sql, context=context,
+                        pipeline_name=self.pipeline_name,
+                        workers=self.workers, scheduler=self.scheduler)
+                else:
+                    profiler = Profiler(self.event_filter,
+                                        keep_events=False)
+                    profiler.add_sink(self.emitter)
+                    # ship the plan's dot file before execution begins
+                    if head.startswith("select"):
+                        self.emitter.send_dot(database.dot(
+                            sql, self.pipeline_name, self.workers))
+                    outcome = database.execute(
+                        sql, listener=profiler, context=context,
+                        pipeline_name=self.pipeline_name,
+                        workers=self.workers, scheduler=self.scheduler)
+                    self.emitter.send_end()
+            state = "done"
+        except ReproError as exc:
+            state = "cancelled" if context.cancelled else "failed"
+            if not getattr(exc, "query_id", ""):
+                exc.query_id = context.query_id
+            raise
+        finally:
+            server.registry.finish(context, state)
+            SERVER_QUERY_USEC.observe((time.perf_counter() - began) * 1e6)
         response = {"ok": True, "kind": outcome.kind,
-                    "affected": outcome.affected}
+                    "affected": outcome.affected,
+                    "query_id": context.query_id}
         if outcome.kind == "rows":
             response["columns"] = outcome.columns
             response["rows"] = encode_rows(outcome.rows)

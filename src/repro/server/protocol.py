@@ -4,10 +4,19 @@ One JSON object per line in each direction.  Requests carry an ``op``:
 
 ===========  ==========================================================
 ``ping``     liveness check → ``{"ok": true}``
-``query``    execute SQL → rows / ddl / insert outcome
+``query``    execute SQL → rows / ddl / insert outcome, plus the
+             server-assigned ``query_id``; accepts optional
+             ``deadline_s`` (server-side wall-clock budget) and
+             ``max_rss_bytes`` (simulated-RSS budget)
+``cancel``   cancel a running query by ``query_id`` → ``{"ok": true,
+             "cancelled": bool, "state": ...}``
+``queries``  list queued/running queries (id, sql, state, elapsed) and
+             the recently finished ones
 ``explain``  optimized MAL plan text for a SELECT
 ``dot``      optimized plan's dot file for a SELECT
-``set``      session settings: ``pipeline`` (optimizer pipe name)
+``set``      per-session settings: ``pipeline`` (optimizer pipe name),
+             ``workers``, ``scheduler`` — applied at execute time, the
+             shared database is never mutated
 ``profiler`` stream trace events (and dot files) to a UDP endpoint;
              carries optional filter options (statuses, modules,
              min_usec)
@@ -16,6 +25,13 @@ One JSON object per line in each direction.  Requests carry an ``op``:
              (see ``docs/metrics_reference.md``)
 ``quit``     close the connection
 ===========  ==========================================================
+
+Error responses are ``{"ok": false, "error": msg}`` plus an optional
+``code`` that transports the lifecycle error *type* across the wire
+(``cancelled``, ``deadline``, ``rss-budget``, ``overloaded``) and a
+``query_id`` when the error concerns one query — so a cancelled query
+surfaces client-side as a typed
+:class:`~repro.errors.QueryCancelledError`, not a generic failure.
 
 This replaces MonetDB's binary MAPI protocol; the substitution is
 documented in DESIGN.md.  Values that are not JSON-native (dates) are
@@ -29,7 +45,13 @@ import datetime
 import json
 from typing import Any, Dict
 
-from repro.errors import ServerError
+from repro.errors import (
+    QueryBudgetError,
+    QueryCancelledError,
+    QueryDeadlineError,
+    ServerError,
+    ServerOverloadedError,
+)
 
 _DATE_TAG = "@date:"
 
@@ -71,6 +93,46 @@ def decode_message(line: bytes) -> Dict[str, Any]:
     if not isinstance(message, dict):
         raise ServerError("protocol message must be a JSON object")
     return message
+
+
+#: Wire code ↔ typed lifecycle error.  Order matters for encoding:
+#: subclasses before their bases so the most precise code wins.
+_ERROR_CODES = (
+    ("deadline", QueryDeadlineError),
+    ("rss-budget", QueryBudgetError),
+    ("cancelled", QueryCancelledError),
+    ("overloaded", ServerOverloadedError),
+)
+_CODE_TO_ERROR = {code: cls for code, cls in _ERROR_CODES}
+
+
+def error_payload(exc: BaseException) -> Dict[str, Any]:
+    """Encode an exception as an error response, keeping its type.
+
+    Lifecycle errors carry a ``code`` (and ``query_id`` when set) so
+    the client can re-raise the same class; anything else becomes a
+    plain ``{"ok": false, "error": ...}``.
+    """
+    payload: Dict[str, Any] = {"ok": False, "error": str(exc)}
+    for code, cls in _ERROR_CODES:
+        if isinstance(exc, cls):
+            payload["code"] = code
+            break
+    query_id = getattr(exc, "query_id", "")
+    if query_id:
+        payload["query_id"] = query_id
+    return payload
+
+
+def error_from_payload(payload: Dict[str, Any]) -> ServerError:
+    """Rebuild the typed error an ``{"ok": false}`` response encodes."""
+    message = payload.get("error", "request failed")
+    cls = _CODE_TO_ERROR.get(payload.get("code", ""))
+    if cls is None:
+        return ServerError(message)
+    if issubclass(cls, QueryCancelledError):
+        return cls(message, query_id=payload.get("query_id", ""))
+    return cls(message)
 
 
 def encode_rows(rows) -> list:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 from typing import Any
 
 from repro.errors import StorageError
@@ -34,7 +35,12 @@ def _decode(value: Any) -> Any:
 
 
 def save_catalog(catalog: Catalog, path: str) -> int:
-    """Write every schema/table/column to ``path``; returns total rows."""
+    """Write every schema/table/column to ``path``; returns total rows.
+
+    The write is atomic: the document goes to a temp file in the same
+    directory, is fsynced, then renamed over ``path`` — a crash
+    mid-save leaves the previous catalog intact, never a truncated one.
+    """
     document = {"version": _FORMAT_VERSION, "schemas": []}
     total_rows = 0
     for schema in catalog.schemas.values():
@@ -52,8 +58,19 @@ def save_catalog(catalog: Catalog, path: str) -> int:
             )
             total_rows += table.row_count()
         document["schemas"].append(schema_doc)
-    with open(path, "w") as handle:
-        json.dump(document, handle)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
     return total_rows
 
 

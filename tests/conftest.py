@@ -1,0 +1,67 @@
+"""Shared fixtures: the server-test leak guard.
+
+Server tests start real threads and sockets; a test that forgets to
+stop a server (or a server that forgets to reap its handler threads)
+must fail loudly here rather than slowing every later test.  The guard
+snapshots non-daemon threads and this process's open socket fds before
+each server test and asserts both return to baseline afterwards,
+retrying briefly so orderly teardown has time to finish.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+#: Test modules whose tests touch server sockets/threads.
+_GUARDED_MODULES = (
+    "test_server",
+    "test_server_lifecycle",
+    "test_chaos_online",
+)
+
+
+def _socket_fds() -> set:
+    """Inode-ish identifiers of this process's open socket fds."""
+    sockets = set()
+    try:
+        fd_dir = "/proc/self/fd"
+        for name in os.listdir(fd_dir):
+            try:
+                target = os.readlink(os.path.join(fd_dir, name))
+            except OSError:
+                continue
+            if target.startswith("socket:"):
+                sockets.add(target)
+    except OSError:
+        pass  # no procfs (non-Linux); the thread check still applies
+    return sockets
+
+
+def _live_non_daemon() -> set:
+    return {t for t in threading.enumerate()
+            if t.is_alive() and not t.daemon}
+
+
+@pytest.fixture(autouse=True)
+def leak_guard(request):
+    """Fail any server test that leaks threads or sockets."""
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    if module not in _GUARDED_MODULES:
+        yield
+        return
+    threads_before = _live_non_daemon()
+    sockets_before = _socket_fds()
+    yield
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        leaked_threads = _live_non_daemon() - threads_before
+        leaked_sockets = _socket_fds() - sockets_before
+        if not leaked_threads and not leaked_sockets:
+            return
+        time.sleep(0.05)
+    assert not leaked_threads, (
+        f"leaked non-daemon threads: {[t.name for t in leaked_threads]}")
+    assert not leaked_sockets, (
+        f"leaked {len(leaked_sockets)} socket fd(s)")

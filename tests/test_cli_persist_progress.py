@@ -72,6 +72,42 @@ class TestPersistence:
         rows = db.execute("select name from events where id = 1").rows
         assert rows == [("alpha",)]
 
+    def test_save_is_atomic_on_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save must leave the previous catalog readable
+        and no temp file behind — the save goes through a same-dir
+        temp file plus ``os.replace``."""
+        import json as json_module
+
+        path = str(tmp_path / "db.json")
+        save_catalog(self.make_catalog(), path)
+        good = load_catalog(path)
+
+        def explode(document, handle, *args, **kwargs):
+            handle.write('{"version":')  # a torn, half-written document
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.storage.persist.json.dump", explode)
+        with pytest.raises(OSError):
+            save_catalog(self.make_catalog(), path)
+        monkeypatch.undo()
+        # the original survives intact ...
+        reloaded = load_catalog(path)
+        assert list(reloaded.table("events").rows()) == \
+            list(good.table("events").rows())
+        # ... and the temp file was cleaned up
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "db.json"]
+        assert leftovers == []
+        assert json_module.loads(open(path).read())["version"] == 1
+
+    def test_save_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "db.json")
+        save_catalog(self.make_catalog(), path)
+        cat = self.make_catalog()
+        cat.table("events").insert([3, "gamma", None])
+        assert save_catalog(cat, path) == 3
+        assert len(list(load_catalog(path).table("events").rows())) == 3
+
 
 class TestProgressWindow:
     def event(self, seq, status, pc, clock):
