@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Kernel perf regression gate for the E9 baseline.
+
+Runs the E9 kernel/plan-cache benchmarks fresh and compares every
+recorded speedup against the committed baseline in
+``benchmarks/BENCH_E9_kernels.json``.  A kernel that lost more than
+--tolerance (default 25%) of its baseline speedup fails the check; so
+does a kernel missing from the fresh run.
+
+Usage:
+    PYTHONPATH=src python benchmarks/check_regression.py          # check
+    PYTHONPATH=src python benchmarks/check_regression.py --write  # rebase
+
+``--write`` regenerates the committed baseline from a fresh run (use
+after deliberate kernel changes, then commit the JSON).  Speedups are
+ratios of interleaved medians, so they are robust to absolute machine
+speed — only a *relative* slowdown of the bulk kernels trips the gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_e9_kernels import (  # noqa: E402
+    BASELINE_PATH, run_benchmarks, write_results,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="rewrite the committed baseline and exit")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup loss (default .25)")
+    args = parser.parse_args()
+
+    fresh = run_benchmarks()
+    if args.write:
+        write_results(fresh, BASELINE_PATH)
+        print(f"baseline rewritten: {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"no committed baseline at {BASELINE_PATH}; "
+              "run with --write first", file=sys.stderr)
+        return 2
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = []
+    floor = 1.0 - args.tolerance
+    checks = dict(baseline.get("kernels", {}))
+    checks["plan_cache"] = baseline.get("plan_cache", {})
+    fresh_all = dict(fresh["kernels"])
+    fresh_all["plan_cache"] = fresh["plan_cache"]
+    for name, committed in sorted(checks.items()):
+        want = committed.get("speedup")
+        got = fresh_all.get(name, {}).get("speedup")
+        if got is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        status = "ok"
+        if got < want * floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: speedup {got}x < {floor:.0%} of baseline {want}x")
+        print(f"{name:22s} baseline={want:7.2f}x fresh={got:7.2f}x {status}")
+
+    if failures:
+        print(f"\n{len(failures)} kernel(s) regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall kernels within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

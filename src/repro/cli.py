@@ -37,6 +37,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scale", type=float, default=0.1,
                        help="TPC-H scale factor (1.0 = ~6000 lineitems)")
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--plan-cache-size", type=int, default=64,
+                       help="optimized plans kept by the LRU plan cache "
+                            "(0 disables plan caching)")
     serve.add_argument("--catalog", help="load a saved catalog instead of "
                                          "generating TPC-H data")
     serve.add_argument("--max-seconds", type=float, default=None,
@@ -167,10 +170,12 @@ def _cmd_serve(args, out) -> int:
         from repro.storage.persist import load_catalog
 
         catalog = load_catalog(args.catalog)
-        db = Database(catalog=catalog, workers=args.workers)
+        db = Database(catalog=catalog, workers=args.workers,
+                      plan_cache_size=args.plan_cache_size)
         out.write(f"loaded catalog from {args.catalog}\n")
     else:
-        db = Database(workers=args.workers)
+        db = Database(workers=args.workers,
+                      plan_cache_size=args.plan_cache_size)
         counts = populate(db.catalog, scale_factor=args.scale)
         out.write(f"TPC-H sf={args.scale}: "
                   f"{counts['lineitem']} lineitems\n")

@@ -15,7 +15,7 @@ property — the plan's dot file is that DAG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import MalError
 from repro.storage.types import MalType, OID, format_value, type_by_name
@@ -109,6 +109,12 @@ class MalInstruction:
     function: str
     args: List[Argument]
     pc: int = -1
+    #: memoized module-registry implementation, resolved lazily by the
+    #: first execution (interpreter or scheduler) and reused for every
+    #: later run of the same compiled program (e.g. plan-cache hits).
+    #: Excluded from repr/equality: it is derived state, not identity.
+    impl_cache: Optional[Callable] = field(default=None, repr=False,
+                                           compare=False)
 
     @property
     def qualified_name(self) -> str:

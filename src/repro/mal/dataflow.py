@@ -302,9 +302,9 @@ class ThreadedScheduler:
                             context.check(ctx.rss_bytes())
                         inputs = [ctx.value_of(a) for a in instr.args]
                     # run the implementation outside the env lock
-                    from repro.mal.modules import lookup
+                    from repro.mal.interpreter import resolve_impl
 
-                    impl = lookup(instr.module, instr.function)
+                    impl = resolve_impl(instr)
                     out = impl(ctx, instr, inputs)
                     if len(instr.results) <= 1:
                         outputs = [out] if instr.results else []

@@ -209,13 +209,30 @@ def record_execution(scheduler: str, runs: Sequence[InstructionRun],
         MAL_WORKER_UTILIZATION.observe(min(100.0, utilization))
 
 
+def resolve_impl(instr: MalInstruction):
+    """Registry implementation of ``instr``, memoized on the instruction.
+
+    The registry lookup (an f-string build plus dict probe) used to run
+    on every ``execute_instruction`` call; compiled programs are
+    immutable after optimization, so the first resolution is cached on
+    the instruction and reused by every scheduler — and by every later
+    run of the same program when the plan cache serves it again.
+    Unknown instructions are not cached, so they raise consistently.
+    """
+    impl = instr.impl_cache
+    if impl is None:
+        impl = lookup(instr.module, instr.function)
+        instr.impl_cache = impl
+    return impl
+
+
 def execute_instruction(ctx: EvalContext, instr: MalInstruction) -> Tuple[list, list]:
     """Evaluate one instruction in ``ctx``; returns (inputs, outputs).
 
     Results are bound into the environment.  Multi-result instructions
     must return exactly as many values as they declare.
     """
-    impl = lookup(instr.module, instr.function)
+    impl = resolve_impl(instr)
     inputs = [ctx.value_of(arg) for arg in instr.args]
     try:
         out = impl(ctx, instr, inputs)

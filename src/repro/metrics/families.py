@@ -114,6 +114,39 @@ SERVER_QUERIES_ACTIVE = REGISTRY.gauge(
 )
 
 # --------------------------------------------------------------------------
+# repro.server.database — the SQL→MAL plan cache
+# --------------------------------------------------------------------------
+
+PLAN_CACHE_HITS = REGISTRY.counter(
+    "repro_plan_cache_hits_total",
+    "SQL statements answered with a cached optimized MAL plan, "
+    "skipping lexing, parsing, binding and the optimizer pipeline.",
+    unit="plans",
+)
+
+PLAN_CACHE_MISSES = REGISTRY.counter(
+    "repro_plan_cache_misses_total",
+    "Cacheable SQL statements that had to be compiled because no "
+    "current plan was cached (first sight, changed session settings, "
+    "or a stale catalog fingerprint).",
+    unit="plans",
+)
+
+PLAN_CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_plan_cache_evictions_total",
+    "Cached plans dropped, by reason: lru (capacity pressure) or "
+    "invalidate (explicit DDL/DML invalidation clearing the cache).",
+    labels=("reason",),
+    unit="plans",
+)
+
+PLAN_CACHE_SIZE = REGISTRY.gauge(
+    "repro_plan_cache_size",
+    "Optimized plans currently held by the plan cache.",
+    unit="plans",
+)
+
+# --------------------------------------------------------------------------
 # repro.mal — interpreter and dataflow schedulers
 # --------------------------------------------------------------------------
 

@@ -10,13 +10,19 @@ Stethoscope to pick up.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
 from repro.dot.writer import plan_to_dot
 from repro.errors import SqlError
+from repro.metrics.families import (
+    PLAN_CACHE_EVICTIONS, PLAN_CACHE_HITS, PLAN_CACHE_MISSES,
+    PLAN_CACHE_SIZE,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.lifecycle import QueryContext
@@ -29,6 +35,126 @@ from repro.sqlfe.ast import CreateTable, DropTable, Insert, Literal, Select, Una
 from repro.sqlfe.compiler import SqlCompiler
 from repro.sqlfe.parser import parse_sql
 from repro.storage.catalog import Catalog
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse insignificant whitespace for plan-cache keying.
+
+    Runs of whitespace *outside* single-quoted string literals become
+    one space (and a trailing semicolon plus surrounding blanks are
+    dropped), so reformatted but textually equivalent statements share
+    a cache entry.  Whitespace inside literals is preserved — collapsing
+    it would make ``'a  b'`` and ``'a b'`` collide on different plans.
+    """
+    out: List[str] = []
+    in_literal = False
+    pending_space = False
+    for ch in sql:
+        if in_literal:
+            out.append(ch)
+            if ch == "'":
+                in_literal = False
+            continue
+        if ch.isspace():
+            pending_space = True
+            continue
+        if pending_space:
+            if out:
+                out.append(" ")
+            pending_space = False
+        out.append(ch)
+        if ch == "'":
+            in_literal = True
+    text = "".join(out)
+    if text.endswith(";"):
+        text = text[:-1].rstrip()
+    return text
+
+
+class PlanCache:
+    """A thread-safe LRU cache of optimized MAL plans.
+
+    Keys are built by :meth:`Database._plan_key`: the normalized SQL
+    text plus everything else that shapes the compiled plan — optimizer
+    pipeline, worker count (mitosis partitioning), and the catalog
+    fingerprint (schema version, table count, total rows).  Folding the
+    fingerprint into the key makes stale entries unreachable the moment
+    the catalog changes; DDL/DML paths additionally call
+    :meth:`clear` so invalidated plans free their memory immediately
+    instead of waiting for LRU pressure.
+
+    A ``capacity`` of 0 disables caching entirely (every ``get`` is a
+    silent miss and ``put`` is a no-op) — useful for benchmarking cold
+    compiles and for workloads of one-off statements.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, MalProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when constructed with capacity 0."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[MalProgram]:
+        """The cached plan for ``key``, or None (counts a hit/miss)."""
+        if not self.capacity:
+            return None
+        with self._lock:
+            program = self._entries.get(key)
+            if program is None:
+                self.misses += 1
+                PLAN_CACHE_MISSES.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            PLAN_CACHE_HITS.inc()
+            return program
+
+    def put(self, key: tuple, program: MalProgram) -> None:
+        """Insert ``key`` → ``program``, evicting the LRU entry if full."""
+        if not self.capacity:
+            return
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                PLAN_CACHE_EVICTIONS.labels(reason="lru").inc()
+            PLAN_CACHE_SIZE.set(len(self._entries))
+
+    def clear(self) -> int:
+        """Drop every entry (explicit DDL/DML invalidation); returns count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.evictions += dropped
+                PLAN_CACHE_EVICTIONS.labels(reason="invalidate").inc(dropped)
+            PLAN_CACHE_SIZE.set(0)
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Counters and occupancy, for the CLI/server ``stats`` surface."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 @dataclass
@@ -53,18 +179,25 @@ class Database:
             ``sequential_pipe``, ``minimal_pipe``).
         scheduler: ``"simulated"`` (deterministic virtual time, default)
             or ``"threaded"`` (real threads).
+        plan_cache_size: maximum optimized plans kept by the LRU plan
+            cache; 0 disables plan caching.
     """
 
     def __init__(self, catalog: Optional[Catalog] = None, workers: int = 4,
                  pipeline_name: str = "default_pipe",
                  scheduler: str = "simulated",
-                 mitosis_threshold: int = 1000) -> None:
+                 mitosis_threshold: int = 1000,
+                 plan_cache_size: int = 64) -> None:
         self.catalog = catalog or Catalog()
         self.workers = workers
         self.pipeline_name = pipeline_name
         self.scheduler = scheduler
         self.mitosis_threshold = mitosis_threshold
         self.compiler = SqlCompiler(self.catalog)
+        #: LRU cache of optimized plans, shared by every session on this
+        #: database; per-session pipeline/worker overrides are part of
+        #: the key, so sessions never see each other's plans.
+        self.plan_cache = PlanCache(plan_cache_size)
         #: last compiled (optimized) plan, for explain/dot consumers
         self.last_program: Optional[MalProgram] = None
 
@@ -92,16 +225,48 @@ class Database:
 
     # ------------------------------------------------------------------
 
+    def _plan_key(self, sql: str, pipeline_name: Optional[str] = None,
+                  workers: Optional[int] = None) -> tuple:
+        """Plan-cache key: everything that shapes the compiled plan.
+
+        Normalized SQL text, the effective pipeline and worker count
+        (mitosis partitions by both), and the catalog fingerprint
+        (version, table count, total rows).  The scheduler is
+        deliberately absent: a compiled plan is scheduler-independent —
+        the same program object runs on any of them.
+        """
+        return (
+            normalize_sql(sql),
+            pipeline_name or self.pipeline_name,
+            workers or self.workers,
+            self.catalog.fingerprint(),
+        )
+
+    def _invalidate_plans(self) -> None:
+        """DDL/DML hook: bump the catalog version, drop cached plans."""
+        self.catalog.invalidate()
+        self.plan_cache.clear()
+
     def compile(self, sql: str, pipeline_name: Optional[str] = None,
                 workers: Optional[int] = None) -> MalProgram:
         """Compile a SELECT to its optimized MAL plan.
 
         ``pipeline_name``/``workers`` override the instance defaults for
         this one compilation — how the server applies per-session
-        settings without mutating the shared database.
+        settings without mutating the shared database.  Warm plan-cache
+        hits skip lexing, parsing, binding and the optimizer pipeline
+        entirely.
         """
-        program = self.compiler.compile_text(sql)
-        program = self._pipeline(pipeline_name, workers).apply(program)
+        key = None
+        program = None
+        if self.plan_cache.enabled:
+            key = self._plan_key(sql, pipeline_name, workers)
+            program = self.plan_cache.get(key)
+        if program is None:
+            program = self.compiler.compile_text(sql)
+            program = self._pipeline(pipeline_name, workers).apply(program)
+            if key is not None:
+                self.plan_cache.put(key, program)
         self.last_program = program
         return program
 
@@ -152,32 +317,45 @@ class Database:
         if head.startswith("trace "):
             return self._execute_traced(stripped[len("trace "):], context,
                                         pipeline_name, workers, scheduler)
-        statement = parse_sql(sql)
-        if isinstance(statement, CreateTable):
-            self.catalog.create_table_from_sql_types(
-                statement.table, statement.columns
-            )
-            return QueryOutcome(kind="ddl")
-        if isinstance(statement, DropTable):
-            self.catalog.schema().drop_table(statement.table)
-            return QueryOutcome(kind="ddl")
-        if isinstance(statement, Insert):
-            return self._execute_insert(statement)
-        if isinstance(statement, Select):
+        # Plan-cache fast path: only SELECTs are cached, so a hit means
+        # the statement can run without being lexed or parsed at all.
+        key = None
+        program: Optional[MalProgram] = None
+        if self.plan_cache.enabled and head.startswith("select"):
+            key = self._plan_key(sql, pipeline_name, workers)
+            program = self.plan_cache.get(key)
+        if program is None:
+            statement = parse_sql(sql)
+            if isinstance(statement, CreateTable):
+                self.catalog.create_table_from_sql_types(
+                    statement.table, statement.columns
+                )
+                self._invalidate_plans()
+                return QueryOutcome(kind="ddl")
+            if isinstance(statement, DropTable):
+                self.catalog.schema().drop_table(statement.table)
+                self._invalidate_plans()
+                return QueryOutcome(kind="ddl")
+            if isinstance(statement, Insert):
+                return self._execute_insert(statement)
+            if not isinstance(statement, Select):
+                raise SqlError(
+                    f"unsupported statement {type(statement).__name__}")
             program = self.compiler.compile(statement)
             program = self._pipeline(pipeline_name, workers).apply(program)
-            self.last_program = program
-            execution = self.run_program(program, listener, context,
-                                         workers, scheduler)
-            result_set = execution.first
-            return QueryOutcome(
-                kind="rows",
-                columns=list(result_set.names) if result_set else [],
-                rows=execution.rows(),
-                program=program,
-                execution=execution,
-            )
-        raise SqlError(f"unsupported statement {type(statement).__name__}")
+            if key is not None:
+                self.plan_cache.put(key, program)
+        self.last_program = program
+        execution = self.run_program(program, listener, context,
+                                     workers, scheduler)
+        result_set = execution.first
+        return QueryOutcome(
+            kind="rows",
+            columns=list(result_set.names) if result_set else [],
+            rows=execution.rows(),
+            program=program,
+            execution=execution,
+        )
 
     def run_program(self, program: MalProgram,
                     listener: Optional[RunListener] = None,
@@ -228,9 +406,9 @@ class Database:
 
     def _execute_insert(self, statement: Insert) -> QueryOutcome:
         table = self.catalog.table(statement.table)
-        inserted = 0
+        rows: List[List[Any]] = []
         for row_exprs in statement.rows:
-            row = []
+            row: List[Any] = []
             for expr in row_exprs:
                 if isinstance(expr, Literal):
                     row.append(expr.value)
@@ -239,6 +417,7 @@ class Database:
                     row.append(-expr.operand.value)
                 else:
                     raise SqlError("INSERT supports literal values only")
-            table.insert(row)
-            inserted += 1
+            rows.append(row)
+        inserted = table.insert_many(rows)
+        self._invalidate_plans()
         return QueryOutcome(kind="insert", affected=inserted)

@@ -288,7 +288,8 @@ class _ClientSession:
         if op == "quit":
             return {"ok": True, "bye": True}
         if op == "stats":
-            return {"ok": True, "metrics": metrics_snapshot()}
+            return {"ok": True, "metrics": metrics_snapshot(),
+                    "plan_cache": self.server.database.plan_cache.stats()}
         if op == "set":
             return self._handle_set(request)
         if op == "profiler":

@@ -72,12 +72,32 @@ class Table:
             column.bat.append(value)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Append many rows; returns the number inserted."""
-        n = 0
+        """Append many rows in one bulk pass; returns the number inserted.
+
+        Rows are transposed into per-column value lists, cast in one
+        comprehension per column, and appended with a C-level extend —
+        all-or-nothing: a bad value anywhere rejects the whole batch
+        before any column is touched.
+        """
+        rows = [tuple(row) for row in rows]
+        arity = len(self.columns)
         for row in rows:
-            self.insert(row)
-            n += 1
-        return n
+            if len(row) != arity:
+                raise CatalogError(
+                    f"row arity {len(row)} != table arity {arity}"
+                )
+        if not rows:
+            return 0
+        cast_columns: List[List[Any]] = []
+        for position, column in enumerate(self.columns.values()):
+            caster = column.mal_type.caster
+            cast_columns.append([
+                None if row[position] is None else caster(row[position])
+                for row in rows
+            ])
+        for column, values in zip(self.columns.values(), cast_columns):
+            column.bat._extend_raw(values)
+        return len(rows)
 
     def rows(self) -> Iterator[Tuple[Any, ...]]:
         """Iterate rows as tuples, in oid order."""
@@ -118,13 +138,42 @@ class Schema:
 
 
 class Catalog:
-    """Top-level catalog; created with a default ``sys`` schema."""
+    """Top-level catalog; created with a default ``sys`` schema.
+
+    The catalog carries a monotonically increasing :attr:`version` that
+    plan caches fold into their keys: any DDL/DML path that changes what
+    a compiled plan would look like calls :meth:`invalidate`.  The
+    cheaper :meth:`fingerprint` additionally folds in table and row
+    counts, so data loaded behind the catalog's back (direct
+    ``Table.insert`` / ``populate``) still changes the key.
+    """
 
     DEFAULT_SCHEMA = "sys"
 
     def __init__(self) -> None:
         self.schemas: Dict[str, Schema] = {}
+        #: bumped by every invalidating DDL/DML operation
+        self.version = 0
         self.create_schema(self.DEFAULT_SCHEMA)
+
+    def invalidate(self) -> None:
+        """Bump the structural version (plan-cache invalidation hook)."""
+        self.version += 1
+
+    def fingerprint(self) -> Tuple[int, int, int]:
+        """(version, table count, total rows) — the plan-cache key part.
+
+        Row counts matter because the default optimizer pipeline's
+        mitosis pass partitions by the largest table's cardinality: the
+        right plan for a table changes as the table grows.
+        """
+        tables = 0
+        rows = 0
+        for schema in self.schemas.values():
+            for table in schema.tables.values():
+                tables += 1
+                rows += table.row_count()
+        return (self.version, tables, rows)
 
     def create_schema(self, name: str) -> Schema:
         """Create a schema; errors on duplicates."""

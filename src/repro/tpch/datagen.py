@@ -91,14 +91,20 @@ def populate(catalog: Catalog, scale_factor: float = 0.1,
     sch = catalog.schema(schema)
     counts: Dict[str, int] = {}
 
+    # Each table accumulates its rows in a list and bulk-loads them with
+    # one insert_many call: the RNG is consumed in exactly the same order
+    # as the old per-row inserts, so generated data stays byte-identical.
     region = sch.table("region")
-    for key, name in enumerate(REGIONS):
-        region.insert([key, name, _comment(rng)])
+    region.insert_many(
+        [key, name, _comment(rng)] for key, name in enumerate(REGIONS)
+    )
     counts["region"] = len(REGIONS)
 
     nation = sch.table("nation")
-    for key, (name, regionkey) in enumerate(NATIONS):
-        nation.insert([key, name, regionkey, _comment(rng)])
+    nation.insert_many(
+        [key, name, regionkey, _comment(rng)]
+        for key, (name, regionkey) in enumerate(NATIONS)
+    )
     counts["nation"] = len(NATIONS)
 
     def rows_for(table: str) -> int:
@@ -106,72 +112,71 @@ def populate(catalog: Catalog, scale_factor: float = 0.1,
 
     n_supplier = rows_for("supplier")
     supplier = sch.table("supplier")
-    for key in range(1, n_supplier + 1):
-        supplier.insert([
-            key, f"Supplier#{key:09d}", f"addr-{key}",
-            rng.randrange(len(NATIONS)),
-            f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
-            f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}",
-            round(rng.uniform(-999.99, 9999.99), 2), _comment(rng),
-        ])
+    supplier.insert_many([
+        key, f"Supplier#{key:09d}", f"addr-{key}",
+        rng.randrange(len(NATIONS)),
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}",
+        round(rng.uniform(-999.99, 9999.99), 2), _comment(rng),
+    ] for key in range(1, n_supplier + 1))
     counts["supplier"] = n_supplier
 
     n_part = rows_for("part")
     part = sch.table("part")
-    for key in range(1, n_part + 1):
-        part.insert([
-            key, f"{rng.choice(NOUNS)} {rng.choice(VERBS)} part-{key}",
-            f"Manufacturer#{rng.randrange(1, 6)}", rng.choice(BRANDS),
-            rng.choice(TYPES), rng.randrange(1, 51), rng.choice(CONTAINERS),
-            round(900 + (key % 200) + key / 10.0, 2), _comment(rng),
-        ])
+    part.insert_many([
+        key, f"{rng.choice(NOUNS)} {rng.choice(VERBS)} part-{key}",
+        f"Manufacturer#{rng.randrange(1, 6)}", rng.choice(BRANDS),
+        rng.choice(TYPES), rng.randrange(1, 51), rng.choice(CONTAINERS),
+        round(900 + (key % 200) + key / 10.0, 2), _comment(rng),
+    ] for key in range(1, n_part + 1))
     counts["part"] = n_part
 
     n_partsupp = rows_for("partsupp")
     partsupp = sch.table("partsupp")
-    for index in range(n_partsupp):
-        partsupp.insert([
-            (index % n_part) + 1,
-            (index % n_supplier) + 1,
-            rng.randrange(1, 10000),
-            round(rng.uniform(1.0, 1000.0), 2),
-            _comment(rng),
-        ])
+    partsupp.insert_many([
+        (index % n_part) + 1,
+        (index % n_supplier) + 1,
+        rng.randrange(1, 10000),
+        round(rng.uniform(1.0, 1000.0), 2),
+        _comment(rng),
+    ] for index in range(n_partsupp))
     counts["partsupp"] = n_partsupp
 
     n_customer = rows_for("customer")
     customer = sch.table("customer")
-    for key in range(1, n_customer + 1):
-        customer.insert([
-            key, f"Customer#{key:09d}", f"addr-{key}",
-            rng.randrange(len(NATIONS)),
-            f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
-            f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}",
-            round(rng.uniform(-999.99, 9999.99), 2),
-            rng.choice(SEGMENTS), _comment(rng),
-        ])
+    customer.insert_many([
+        key, f"Customer#{key:09d}", f"addr-{key}",
+        rng.randrange(len(NATIONS)),
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}",
+        round(rng.uniform(-999.99, 9999.99), 2),
+        rng.choice(SEGMENTS), _comment(rng),
+    ] for key in range(1, n_customer + 1))
     counts["customer"] = n_customer
 
     n_orders = rows_for("orders")
     orders = sch.table("orders")
     order_dates: List[datetime.date] = []
+    order_rows: List[list] = []
     for key in range(1, n_orders + 1):
         order_date = _ORDER_DATE_START + datetime.timedelta(
             days=rng.randrange(_ORDER_DATE_DAYS)
         )
         order_dates.append(order_date)
-        orders.insert([
+        order_rows.append([
             key, rng.randrange(1, n_customer + 1),
             rng.choice(["O", "F", "P"]),
             0.0,  # patched below from lineitems
             order_date, rng.choice(PRIORITIES),
             f"Clerk#{rng.randrange(1, 1000):09d}", 0, _comment(rng),
         ])
+    orders.insert_many(order_rows)
     counts["orders"] = n_orders
 
     n_lineitem = rows_for("lineitem")
     lineitem = sch.table("lineitem")
     totals = [0.0] * (n_orders + 1)
+    lineitem_rows: List[list] = []
     for index in range(n_lineitem):
         orderkey = rng.randrange(1, n_orders + 1)
         order_date = order_dates[orderkey - 1]
@@ -187,7 +192,7 @@ def populate(catalog: Catalog, scale_factor: float = 0.1,
             else "N"
         )
         linestatus = "F" if ship_date <= datetime.date(1995, 6, 17) else "O"
-        lineitem.insert([
+        lineitem_rows.append([
             orderkey, rng.randrange(1, n_part + 1),
             rng.randrange(1, n_supplier + 1), (index % 7) + 1,
             quantity, extended, discount, tax, returnflag, linestatus,
@@ -196,11 +201,13 @@ def populate(catalog: Catalog, scale_factor: float = 0.1,
             _comment(rng),
         ])
         totals[orderkey] += extended * (1 + tax) * (1 - discount)
+    lineitem.insert_many(lineitem_rows)
     counts["lineitem"] = n_lineitem
 
     total_bat = orders.column("o_totalprice").bat
     key_bat = orders.column("o_orderkey").bat
     for position, orderkey in enumerate(key_bat.tail):
         total_bat.tail[position] = round(totals[orderkey], 2)
+    total_bat._invalidate_caches()  # in-place patch bypassed append/extend
 
     return counts

@@ -1,0 +1,585 @@
+"""Property-based parity suite: bulk BAT kernels vs naive references.
+
+Every kernel rewritten for the bulk execution layer in
+``repro.storage.bat`` is run here against the per-row reference
+implementation preserved in ``repro.storage.naive``, over randomized
+inputs covering void and materialised heads, nil-bearing columns and
+every atom type.  "Parity" is strict: same tails, same heads, same head
+materialisation (void stays void), same output types, same errors.
+
+The second half covers the SQL→MAL plan cache: hit/miss accounting,
+invalidation on DDL/DML and data loaded behind the catalog's back, and
+cross-session isolation of per-session pipeline/worker overrides.
+"""
+
+import datetime
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import naive
+from repro.storage.bat import BAT
+from repro.storage.types import BIT, DATE, DBL, INT, LNG, OID, STR, nil
+from repro.server.database import Database, PlanCache, normalize_sql
+from repro.storage.catalog import Catalog
+
+SEEDS = [3, 11, 29]
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
+          "theta", "iota", "kappa", ""]
+
+
+def _value(rng: random.Random, mal_type):
+    if mal_type is INT or mal_type is LNG:
+        return rng.randrange(-50, 50)
+    if mal_type is OID:
+        return rng.randrange(0, 100)
+    if mal_type is DBL:
+        return round(rng.uniform(-25.0, 25.0), 3)
+    if mal_type is STR:
+        return rng.choice(_WORDS) + str(rng.randrange(10))
+    if mal_type is DATE:
+        return datetime.date(1995, 1, 1) + datetime.timedelta(
+            days=rng.randrange(0, 1200))
+    if mal_type is BIT:
+        return rng.random() < 0.5
+    raise AssertionError(mal_type)
+
+
+def make_bat(rng: random.Random, mal_type, n=None, nil_rate=0.25,
+             void=None, hseqbase=None) -> BAT:
+    """A random BAT: void or shuffled materialised head, optional nils."""
+    if n is None:
+        n = rng.randrange(0, 40)
+    if void is None:
+        void = rng.random() < 0.5
+    if hseqbase is None:
+        hseqbase = rng.choice([0, 0, 7, 100])
+    values = [nil if rng.random() < nil_rate else _value(rng, mal_type)
+              for _ in range(n)]
+    if void:
+        return BAT(mal_type, values, hseqbase=hseqbase)
+    heads = [rng.randrange(0, 200) for _ in range(n)]
+    return BAT(mal_type, values, head=heads)
+
+
+def assert_parity(fast: BAT, reference: BAT) -> None:
+    """Strict observational equality, including head materialisation."""
+    assert fast.tail_type is reference.tail_type
+    assert fast.tail == reference.tail
+    assert (fast.head is None) == (reference.head is None)
+    assert list(fast.heads()) == list(reference.heads())
+    # identical footprint => identical rss numbers in profiler traces
+    assert fast.bytes() == naive.bat_bytes(reference)
+
+
+ALL_TYPES = [INT, LNG, DBL, STR, OID, DATE, BIT]
+ORDERED_TYPES = [INT, LNG, DBL, STR, OID, DATE]
+
+
+# ---------------------------------------------------------------------------
+# selections
+# ---------------------------------------------------------------------------
+
+
+class TestSelectionParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", ALL_TYPES)
+    def test_point_select(self, seed, mal_type):
+        rng = random.Random(seed)
+        for _ in range(8):
+            bat = make_bat(rng, mal_type)
+            needle = (_value(rng, mal_type)
+                      if not bat.tail or rng.random() < 0.5
+                      else rng.choice([v for v in bat.tail] or [nil]))
+            assert_parity(bat.select(needle), naive.select(bat, needle))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", ORDERED_TYPES)
+    @pytest.mark.parametrize("include_low", [True, False])
+    @pytest.mark.parametrize("include_high", [True, False])
+    def test_range_select(self, seed, mal_type, include_low, include_high):
+        rng = random.Random(seed)
+        for _ in range(6):
+            bat = make_bat(rng, mal_type)
+            low = nil if rng.random() < 0.25 else _value(rng, mal_type)
+            high = nil if rng.random() < 0.25 else _value(rng, mal_type)
+            assert_parity(
+                bat.select(low, high, include_low, include_high),
+                naive.select(bat, low, high, include_low, include_high),
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", ORDERED_TYPES)
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    def test_thetaselect(self, seed, mal_type, op):
+        rng = random.Random(seed)
+        for _ in range(5):
+            bat = make_bat(rng, mal_type)
+            value = _value(rng, mal_type)
+            assert_parity(bat.thetaselect(value, op),
+                          naive.thetaselect(bat, value, op))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("pattern", ["%a%", "alpha%", "%a_", "_e%",
+                                         "gamma3", "%", ""])
+    def test_likeselect(self, seed, pattern):
+        rng = random.Random(seed)
+        bat = make_bat(rng, STR, n=30)
+        assert_parity(bat.likeselect(pattern),
+                      naive.likeselect(bat, pattern))
+
+    def test_unknown_theta_op_raises(self):
+        bat = BAT(INT, [1, 2])
+        with pytest.raises(StorageError):
+            bat.thetaselect(1, "<>")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", [INT, DBL, STR, DATE])
+    def test_order_index_path_matches_scan(self, seed, mal_type):
+        """BATs above ORDER_INDEX_MIN_ROWS answer selective ranges by
+        bisecting the memoized order index — results must match the
+        scan reference exactly, nils and duplicates included."""
+        rng = random.Random(seed)
+        from repro.storage.bat import ORDER_INDEX_MIN_ROWS
+
+        n = ORDER_INDEX_MIN_ROWS + 100
+        for nil_rate in (0.0, 0.2):
+            bat = make_bat(rng, mal_type, n=n, nil_rate=nil_rate)
+            lo, hi = sorted((_value(rng, mal_type), _value(rng, mal_type)))
+            for bounds in [(lo, hi), (lo, lo), (nil, lo), (hi, nil)]:
+                for incl in [(True, True), (False, False), (True, False)]:
+                    assert_parity(
+                        bat.select(bounds[0], bounds[1], *incl),
+                        naive.select(bat, bounds[0], bounds[1], *incl))
+            assert_parity(bat.select(lo), naive.select(bat, lo))
+            for op in ["<", "<=", ">", ">=", "=="]:
+                assert_parity(bat.thetaselect(lo, op),
+                              naive.thetaselect(bat, lo, op))
+
+    def test_order_index_invalidated_by_append(self):
+        from repro.storage.bat import ORDER_INDEX_MIN_ROWS
+
+        rng = random.Random(2)
+        n = ORDER_INDEX_MIN_ROWS + 10
+        bat = BAT(INT, [rng.randrange(1000) for _ in range(n)])
+        assert_parity(bat.select(0, 50), naive.select(bat, 0, 50))  # builds
+        bat.append(7)
+        bat.extend([13, 999])
+        assert_parity(bat.select(0, 50), naive.select(bat, 0, 50))
+        assert_parity(bat.thetaselect(990, ">"),
+                      naive.thetaselect(bat, 990, ">"))
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+class TestJoinParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("base", [0, 5])
+    def test_leftjoin_void_other_all_hits(self, seed, base):
+        """The prescan fast path: every oid lands inside ``other``."""
+        rng = random.Random(seed)
+        other = make_bat(rng, STR, n=20, void=True, hseqbase=base)
+        oids = [rng.randrange(base, base + 20) for _ in range(30)]
+        for left_void in (True, False):
+            left = (BAT(OID, oids, hseqbase=3) if left_void
+                    else BAT(OID, oids, head=[rng.randrange(99)
+                                              for _ in oids]))
+            assert_parity(left.leftjoin(other), naive.leftjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leftjoin_void_other_with_misses_and_nils(self, seed):
+        rng = random.Random(seed)
+        other = make_bat(rng, DBL, n=10, void=True, hseqbase=4)
+        oids = [nil if rng.random() < 0.2 else rng.randrange(0, 25)
+                for _ in range(40)]
+        left = BAT(OID, oids, hseqbase=2)
+        assert_parity(left.leftjoin(other), naive.leftjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leftjoin_hash_other_with_duplicate_heads(self, seed):
+        rng = random.Random(seed)
+        heads = [rng.randrange(0, 8) for _ in range(25)]  # many dups
+        other = BAT(STR, [_value(rng, STR) for _ in heads], head=heads)
+        left = make_bat(rng, OID, n=30, nil_rate=0.2)
+        assert_parity(left.leftjoin(other), naive.leftjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leftjoin_value_keyed_heads(self, seed):
+        """Old-MonetDB value-keyed join: other's head holds str values."""
+        rng = random.Random(seed)
+        values = list({_value(rng, STR) for _ in range(15)})
+        other = BAT(STR, values).reverse()  # head=str values, tail=oids
+        left = BAT(STR, [rng.choice(values + ["missing!"])
+                         for _ in range(30)])
+        assert_parity(left.leftjoin(other), naive.leftjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("base", [0, 6])
+    def test_leftfetchjoin_all_hits(self, seed, base):
+        rng = random.Random(seed)
+        other = make_bat(rng, STR, n=15, void=True, hseqbase=base)
+        oids = [rng.randrange(base, base + 15) for _ in range(25)]
+        for left_void in (True, False):
+            left = (BAT(OID, oids, hseqbase=9) if left_void
+                    else BAT(OID, oids, head=[rng.randrange(99)
+                                              for _ in oids]))
+            assert_parity(left.leftfetchjoin(other),
+                          naive.leftfetchjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leftfetchjoin_nil_passthrough(self, seed):
+        rng = random.Random(seed)
+        other = make_bat(rng, INT, n=12, void=True, hseqbase=0)
+        oids = [nil if rng.random() < 0.3 else rng.randrange(0, 12)
+                for _ in range(30)]
+        left = BAT(OID, oids, hseqbase=1)
+        assert_parity(left.leftfetchjoin(other),
+                      naive.leftfetchjoin(left, other))
+
+    def test_leftfetchjoin_miss_raises_in_both(self):
+        other = BAT(INT, [10, 20, 30], hseqbase=5)
+        left = BAT(OID, [5, 6, 99])
+        with pytest.raises(StorageError, match="fetchjoin miss"):
+            left.leftfetchjoin(other)
+        with pytest.raises(StorageError, match="fetchjoin miss"):
+            naive.leftfetchjoin(left, other)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leftfetchjoin_hash_other(self, seed):
+        rng = random.Random(seed)
+        heads = rng.sample(range(50), 20)
+        heads += heads[:3]  # duplicates: last position must win
+        other = BAT(DBL, [_value(rng, DBL) for _ in heads], head=heads)
+        left = BAT(OID, [rng.choice(heads) for _ in range(30)])
+        assert_parity(left.leftfetchjoin(other),
+                      naive.leftfetchjoin(left, other))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kernel", ["semijoin", "kdifference"])
+    def test_semijoin_kdifference_all_head_shapes(self, seed, kernel):
+        rng = random.Random(seed)
+        for self_void in (True, False):
+            for other_void in (True, False):
+                left = make_bat(rng, STR, n=25, void=self_void,
+                                hseqbase=rng.choice([0, 4]))
+                other = make_bat(rng, INT, n=rng.choice([0, 10]),
+                                 void=other_void,
+                                 hseqbase=rng.choice([0, 8, 30]))
+                fast = getattr(left, kernel)(other)
+                reference = getattr(naive, kernel)(left, other)
+                assert_parity(fast, reference)
+
+
+# ---------------------------------------------------------------------------
+# ordering, grouping, aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestOrderGroupAggregateParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", ORDERED_TYPES)
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_sort(self, seed, mal_type, reverse):
+        rng = random.Random(seed)
+        for nil_rate in (0.0, 0.3):
+            bat = make_bat(rng, mal_type, nil_rate=nil_rate)
+            assert_parity(bat.sort(reverse=reverse),
+                          naive.sort(bat, reverse=reverse))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mal_type", ALL_TYPES)
+    def test_group(self, seed, mal_type):
+        rng = random.Random(seed)
+        bat = make_bat(rng, mal_type)
+        for fast, reference in zip(bat.group(), naive.group(bat)):
+            assert_parity(fast, reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refine_group(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 40)
+        first = make_bat(rng, STR, n=n)
+        second = make_bat(rng, INT, n=n, void=first.is_void_head,
+                          hseqbase=first.hseqbase)
+        if not first.is_void_head:
+            second = BAT(INT, second.tail, head=list(first.head))
+        groups = first.group()[0]
+        for fast, reference in zip(second.refine_group(groups),
+                                   naive.refine_group(second, groups)):
+            assert_parity(fast, reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("func", ["count", "sum", "min", "max", "avg"])
+    def test_scalar_aggregate(self, seed, func):
+        rng = random.Random(seed)
+        for mal_type in (INT, DBL):
+            for nil_rate in (0.0, 0.4, 1.0):
+                bat = make_bat(rng, mal_type, nil_rate=nil_rate)
+                assert bat.aggregate(func) == naive.aggregate(bat, func)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("func", ["count", "sum", "min", "max", "avg"])
+    @pytest.mark.parametrize("mal_type", [INT, DBL])
+    def test_grouped_aggregate(self, seed, func, mal_type):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 50)
+        keys = BAT(INT, [rng.randrange(0, 6) for _ in range(n)])
+        groups = keys.group()[0]
+        ngroups = (max(groups.tail) + 1) if groups.tail else 0
+        values = make_bat(rng, mal_type, n=n, void=True, nil_rate=0.3)
+        assert_parity(
+            values.grouped_aggregate(groups, ngroups, func),
+            naive.grouped_aggregate(values, groups, ngroups, func),
+        )
+
+    @pytest.mark.parametrize("func", ["sum", "min", "max", "avg"])
+    def test_grouped_aggregate_empty_group_is_nil(self, func):
+        values = BAT(INT, [nil, nil, 5])
+        groups = BAT(OID, [0, 0, 2])
+        fast = values.grouped_aggregate(groups, 3, func)
+        reference = naive.grouped_aggregate(values, groups, 3, func)
+        assert_parity(fast, reference)
+        assert fast.tail[0] is nil and fast.tail[1] is nil
+
+
+# ---------------------------------------------------------------------------
+# elementwise calc
+# ---------------------------------------------------------------------------
+
+
+class TestCalcParity:
+    # "and"/"or" need BIT-castable inputs; they get their own test below.
+    OPS = ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">="]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("op", OPS)
+    def test_calc_two_bats(self, seed, op):
+        rng = random.Random(seed)
+        left_type = rng.choice([INT, DBL])
+        right_type = rng.choice([INT, DBL])
+        n = rng.randrange(0, 40)
+        for nil_rate in (0.0, 0.3):
+            a = make_bat(rng, left_type, n=n, nil_rate=nil_rate, void=True)
+            b = make_bat(rng, right_type, n=n, nil_rate=nil_rate, void=True)
+            assert_parity(a.calc(b, op), naive.calc(a, b, op))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("swapped", [False, True])
+    def test_calc_const(self, seed, op, swapped):
+        rng = random.Random(seed)
+        for nil_rate in (0.0, 0.3):
+            a = make_bat(rng, rng.choice([INT, DBL]), nil_rate=nil_rate)
+            const = rng.choice([0, 3, -2, 1.5])
+            assert_parity(a.calc_const(const, op, swapped=swapped),
+                          naive.calc_const(a, const, op, swapped=swapped))
+
+    def test_calc_const_nil_constant(self):
+        a = BAT(INT, [1, 2, 3])
+        assert_parity(a.calc_const(nil, "+"), naive.calc_const(a, nil, "+"))
+
+    def test_division_by_zero_parity(self):
+        a = BAT(INT, [6, 7, nil])
+        b = BAT(INT, [3, 0, 2])
+        assert_parity(a.calc(b, "/"), naive.calc(a, b, "/"))
+        assert a.calc(b, "/").tail == [2.0, nil, nil]
+
+    @pytest.mark.parametrize("op", ["and", "or"])
+    def test_boolean_truthiness_semantics(self, op):
+        a = BAT(BIT, [True, True, False, False])
+        b = BAT(BIT, [True, False, True, False])
+        assert_parity(a.calc(b, op), naive.calc(a, b, op))
+
+    def test_str_concat_parity(self):
+        a = BAT(STR, ["x", nil, "z"])
+        assert_parity(a.calc_const("!", "+"), naive.calc_const(a, "!", "+"))
+
+
+# ---------------------------------------------------------------------------
+# memoized caches: bytes, indexes, bulk extend
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCoherence:
+    @pytest.mark.parametrize("mal_type", ALL_TYPES)
+    def test_bytes_matches_reference_and_survives_mutation(self, mal_type):
+        rng = random.Random(5)
+        bat = make_bat(rng, mal_type, n=20, void=True)
+        assert bat.bytes() == naive.bat_bytes(bat)
+        assert bat.bytes() == naive.bat_bytes(bat)  # cached second read
+        bat.append(_value(rng, mal_type))
+        assert bat.bytes() == naive.bat_bytes(bat)
+        bat.extend([_value(rng, mal_type) for _ in range(7)])
+        assert bat.bytes() == naive.bat_bytes(bat)
+
+    def test_extend_equals_append_loop(self):
+        rng = random.Random(9)
+        values = [nil if rng.random() < 0.2 else rng.randrange(100)
+                  for _ in range(50)]
+        bulk = BAT(INT, [1, 2], head=[10, 11])
+        loop = BAT(INT, [1, 2], head=[10, 11])
+        bulk.extend(values)
+        for v in values:
+            loop.append(v)
+        assert bulk.tail == loop.tail
+        assert bulk.head == loop.head
+
+    def test_extend_casts_in_bulk(self):
+        bat = BAT(INT, [])
+        bat.extend(["7", 8.0, True, nil])
+        assert bat.tail == [7, 8, 1, nil]
+
+    def test_join_index_invalidated_by_append(self):
+        other = BAT(INT, [100, 200], head=[1, 2])
+        left = BAT(OID, [1, 2, 3])
+        assert left.leftjoin(other).tail == [100, 200]
+        other.append(300)  # head continues densely: 3
+        assert left.leftjoin(other).tail == [100, 200, 300]
+        assert left.leftfetchjoin(other).tail == [100, 200, 300]
+
+    def test_fetch_index_invalidated_by_extend(self):
+        other = BAT(STR, ["a"], head=[0])
+        left = BAT(OID, [0])
+        assert left.leftfetchjoin(other).tail == ["a"]
+        other.extend(["b", "c"])
+        wider = BAT(OID, [0, 1, 2])
+        assert wider.leftfetchjoin(other).tail == ["a", "b", "c"]
+        assert wider.semijoin(other).tail == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# the plan cache
+# ---------------------------------------------------------------------------
+
+
+def _fresh_db(**kwargs) -> Database:
+    db = Database(Catalog(), workers=2, **kwargs)
+    db.execute("create table pets (id int, name varchar, grams int)")
+    db.execute("insert into pets values (1, 'ada', 4200), "
+               "(2, 'bit', 3100), (3, 'nil', 500)")
+    return db
+
+
+class TestPlanCache:
+    def test_warm_hit_returns_same_program(self):
+        db = _fresh_db()
+        q = "select name from pets where grams > 1000"
+        cold = db.compile(q)
+        warm = db.compile(q)
+        assert warm is cold
+        stats = db.plan_cache.stats()
+        assert stats["hits"] == 1 and stats["size"] == 1
+
+    def test_whitespace_reformatting_shares_entry(self):
+        db = _fresh_db()
+        db.compile("select name from pets where grams > 1000")
+        db.compile("  SELECT name\n  FROM pets\n  WHERE grams > 1000 ;")
+        # same normalized text modulo case? no: case differs -> new entry
+        assert db.plan_cache.stats()["size"] == 2
+        db.compile("select   name from\tpets where grams > 1000")
+        assert db.plan_cache.stats()["hits"] == 1
+
+    def test_string_literal_whitespace_is_significant(self):
+        assert normalize_sql("select 'a  b'  from t") == "select 'a  b' from t"
+        assert (normalize_sql("select 'a  b' from t")
+                != normalize_sql("select 'a b' from t"))
+
+    def test_warm_execute_results_identical(self):
+        db = _fresh_db()
+        q = "select name, grams from pets where grams >= 500 order by grams"
+        cold = db.execute(q)
+        warm = db.execute(q)
+        assert warm.rows == cold.rows
+        assert db.plan_cache.stats()["hits"] >= 1
+
+    def test_ddl_invalidates(self):
+        db = _fresh_db()
+        q = "select name from pets"
+        db.execute(q)
+        db.execute("create table other_t (x int)")
+        assert db.plan_cache.stats()["size"] == 0
+        db.execute(q)  # recompiles against the new catalog state
+        assert db.plan_cache.stats()["size"] == 1
+        db.execute("drop table other_t")
+        assert db.plan_cache.stats()["size"] == 0
+
+    def test_dml_invalidates_and_changes_key(self):
+        db = _fresh_db()
+        q = "select count(*) from pets"
+        assert db.execute(q).rows == [(3,)]
+        db.execute("insert into pets values (4, 'rex', 9000)")
+        assert db.plan_cache.stats()["size"] == 0
+        assert db.execute(q).rows == [(4,)]
+
+    def test_out_of_band_load_changes_fingerprint(self):
+        db = _fresh_db()
+        q = "select count(*) from pets"
+        db.execute(q)
+        # bypass Database entirely: fingerprint (row counts) must differ
+        db.catalog.table("pets").insert([5, "ivy", 700])
+        assert db.execute(q).rows == [(4,)]
+        assert db.plan_cache.stats()["misses"] >= 2
+
+    def test_cross_session_overrides_get_distinct_plans(self):
+        db = _fresh_db()
+        q = "select name from pets where grams > 1000"
+        a = db.execute(q, pipeline_name="sequential_pipe")
+        b = db.execute(q, workers=1)
+        c = db.execute(q)
+        assert db.plan_cache.stats()["size"] == 3
+        assert sorted(a.rows) == sorted(b.rows) == sorted(c.rows)
+        # each session's second run hits its own entry
+        db.execute(q, pipeline_name="sequential_pipe")
+        db.execute(q, workers=1)
+        assert db.plan_cache.stats()["hits"] == 2
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a",), "plan-a")
+        cache.put(("b",), "plan-b")
+        assert cache.get(("a",)) == "plan-a"  # refresh a
+        cache.put(("c",), "plan-c")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "plan-a"
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        db = _fresh_db(plan_cache_size=0)
+        q = "select name from pets"
+        first = db.execute(q)
+        second = db.execute(q)
+        assert second.rows == first.rows
+        stats = db.plan_cache.stats()
+        assert stats == {"size": 0, "capacity": 0, "hits": 0,
+                         "misses": 0, "evictions": 0}
+
+    def test_explain_shares_cache_with_execute(self):
+        db = _fresh_db()
+        q = "select name from pets where grams > 1000"
+        db.execute(q)
+        plan_text = db.execute("explain " + q)
+        assert db.plan_cache.stats()["hits"] >= 1
+        assert any("algebra" in row[0] for row in plan_text.rows)
+
+    def test_trace_shape_unchanged_on_warm_hit(self):
+        from repro.profiler import Profiler
+
+        db = _fresh_db()
+        q = "select sum(grams) from pets where grams > 400"
+
+        def trace():
+            profiler = Profiler()
+            db.execute(q, listener=profiler)
+            return [(e.event, e.clock_usec, e.status, e.pc, e.thread,
+                     e.usec, e.rss_bytes, e.stmt)
+                    for e in profiler.events]
+
+        cold = trace()
+        warm = trace()
+        assert warm == cold
+        assert db.plan_cache.stats()["hits"] >= 1
