@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""Kernel perf regression gate for the E9 baseline.
+"""Perf regression gate for the committed E9 and E10 baselines.
 
-Runs the E9 kernel/plan-cache benchmarks fresh and compares every
-recorded speedup against the committed baseline in
+E9 (kernels): runs the kernel/plan-cache benchmarks fresh and compares
+every recorded speedup against the committed baseline in
 ``benchmarks/BENCH_E9_kernels.json``.  A kernel that lost more than
 --tolerance (default 25%) of its baseline speedup fails the check; so
 does a kernel missing from the fresh run.
 
+E10 (connections): runs the connection-scaling benchmarks fresh and
+checks the *invariants* — every connection served, every pipelined
+response delivered, zero broadcast events lost for keep-up
+subscribers, identical streams — against both the fresh run and the
+committed ``benchmarks/BENCH_E10_connections.json``.  Raw rates are
+machine-dependent, so they are printed but never gated.
+
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --write  # rebase
+    PYTHONPATH=src python benchmarks/check_regression.py --only e10
 
-``--write`` regenerates the committed baseline from a fresh run (use
-after deliberate kernel changes, then commit the JSON).  Speedups are
+``--write`` regenerates the committed baselines from a fresh run (use
+after deliberate changes, then commit the JSONs).  E9 speedups are
 ratios of interleaved medians, so they are robust to absolute machine
 speed — only a *relative* slowdown of the bulk kernels trips the gate.
 """
@@ -24,30 +32,24 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_e9_kernels import (  # noqa: E402
-    BASELINE_PATH, run_benchmarks, write_results,
-)
+import bench_e9_kernels  # noqa: E402
+import bench_e10_connections  # noqa: E402
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--write", action="store_true",
-                        help="rewrite the committed baseline and exit")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional speedup loss (default .25)")
-    args = parser.parse_args()
-
-    fresh = run_benchmarks()
+def check_e9(args) -> int:
+    fresh = bench_e9_kernels.run_benchmarks()
     if args.write:
-        write_results(fresh, BASELINE_PATH)
-        print(f"baseline rewritten: {BASELINE_PATH}")
+        bench_e9_kernels.write_results(
+            fresh, bench_e9_kernels.BASELINE_PATH)
+        print(f"baseline rewritten: {bench_e9_kernels.BASELINE_PATH}")
         return 0
 
-    if not os.path.exists(BASELINE_PATH):
-        print(f"no committed baseline at {BASELINE_PATH}; "
-              "run with --write first", file=sys.stderr)
+    if not os.path.exists(bench_e9_kernels.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e9_kernels.BASELINE_PATH}; run with --write "
+              "first", file=sys.stderr)
         return 2
-    with open(BASELINE_PATH) as f:
+    with open(bench_e9_kernels.BASELINE_PATH) as f:
         baseline = json.load(f)
 
     failures = []
@@ -77,6 +79,67 @@ def main() -> int:
         return 1
     print("\nall kernels within tolerance")
     return 0
+
+
+def check_e10(args) -> int:
+    fresh = bench_e10_connections.run_benchmarks()
+    if args.write:
+        bench_e10_connections.write_results(
+            fresh, bench_e10_connections.BASELINE_PATH)
+        print("baseline rewritten: "
+              f"{bench_e10_connections.BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(bench_e10_connections.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e10_connections.BASELINE_PATH}; run with "
+              "--write first", file=sys.stderr)
+        return 2
+    with open(bench_e10_connections.BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = list(bench_e10_connections.check_invariants(fresh))
+    # the committed baseline must hold every invariant the fresh run
+    # knows about — a baseline rebased over a violation is itself a bug
+    for name in fresh["invariants"]:
+        if not baseline.get("invariants", {}).get(name, False):
+            failures.append(
+                f"committed baseline violates invariant: {name}")
+    for name, held in sorted(fresh["invariants"].items()):
+        print(f"{name:26s} {'ok' if held else 'VIOLATED'}")
+    conn = fresh["connections"]
+    fan = fresh["fanout"]
+    print(f"(info) {conn['ok']}/{conn['target']} connections at "
+          f"{conn['conns_per_s']} conn/s; {fan['subscribers']} "
+          f"subscribers, {fan['lost_events']} lost, "
+          f"{fan['delivered_per_s']} entries/s")
+
+    if failures:
+        print(f"\n{len(failures)} E10 check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall connection-scaling invariants hold")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="rewrite the committed baseline(s) and exit")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup loss (default .25)")
+    parser.add_argument("--only", choices=["e9", "e10"], default=None,
+                        help="run a single gate instead of both")
+    args = parser.parse_args()
+
+    status = 0
+    if args.only in (None, "e9"):
+        status = max(status, check_e9(args))
+    if args.only in (None, "e10"):
+        print()
+        status = max(status, check_e10(args))
+    return status
 
 
 if __name__ == "__main__":

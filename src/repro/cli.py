@@ -5,6 +5,9 @@ Subcommands mirror how the paper's tools are operated:
 =============  =========================================================
 ``serve``      start an Mserver with TPC-H data (the background server)
 ``query``      run SQL against a server (a client session)
+``watch``      subscribe to a server's live trace broadcast hub and
+               print entries as they stream (any number of watchers can
+               follow one query — see ``docs/streaming.md``)
 ``listen``     the textual Stethoscope: receive a UDP trace stream and
                write the dot/trace files
 ``offline``    open a dot + trace file pair, replay, and report
@@ -58,6 +61,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-seconds", type=float, default=2.0,
                        help="drain budget on shutdown before in-flight "
                             "queries are cancelled")
+    serve.add_argument("--subscriber-buffer", type=int, default=512,
+                       help="default per-subscriber broadcast buffer "
+                            "(entries); laggards past it lose oldest "
+                            "entries instead of slowing the query")
+    serve.add_argument("--max-subscribers", type=int, default=1024,
+                       help="broadcast subscriptions beyond this are "
+                            "refused with a typed overload error")
+    serve.add_argument("--trace-history", type=int, default=8192,
+                       help="broadcast entries retained for "
+                            "subscribe-from-sequence resume")
 
     query = commands.add_parser("query", help="run SQL against a server")
     query.add_argument("sql", nargs="?", default=None)
@@ -77,6 +90,23 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--list", action="store_true",
                        help="list running and recent queries instead of "
                             "executing SQL")
+
+    watch = commands.add_parser(
+        "watch", help="follow a server's live trace broadcast stream"
+    )
+    watch.add_argument("--port", type=int, default=50000)
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--query-id", default="",
+                       help="follow one query instead of everything "
+                            "(live, or finished-but-retained)")
+    watch.add_argument("--from-seq", type=int, default=None,
+                       help="resume from a broadcast sequence number")
+    watch.add_argument("--buffer", type=int, default=None,
+                       help="server-side buffer for this subscription")
+    watch.add_argument("--max-seconds", type=float, default=30.0,
+                       help="stop watching after this long")
+    watch.add_argument("--until-end", action="store_true",
+                       help="stop at the first end-of-query marker")
 
     listen = commands.add_parser(
         "listen", help="textual Stethoscope: receive a UDP trace stream"
@@ -184,7 +214,10 @@ def _cmd_serve(args, out) -> int:
                  max_queue=args.max_queue,
                  queue_wait_s=args.queue_wait,
                  default_deadline_s=args.default_deadline,
-                 drain_seconds=args.drain_seconds) as server:
+                 drain_seconds=args.drain_seconds,
+                 subscriber_buffer=args.subscriber_buffer,
+                 max_subscribers=args.max_subscribers,
+                 trace_history=args.trace_history) as server:
         out.write(f"Mserver listening on port {server.port}\n")
         out.flush()
         deadline = (time.monotonic() + args.max_seconds
@@ -240,6 +273,32 @@ def _cmd_query(args, out) -> int:
             out.write(f"-- {result.kind}: {result.affected} row(s) "
                       f"[{result.query_id}]\n")
     return 0
+
+
+def _cmd_watch(args, out) -> int:
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        sub = client.subscribe(from_seq=args.from_seq,
+                               query_id=args.query_id,
+                               buffer=args.buffer)
+        out.write(f"subscribed as {sub.subscriber_id} "
+                  f"(next_seq={sub.next_seq}, missed={sub.missed})\n")
+        out.flush()
+        try:
+            for entry in sub.entries(max_seconds=args.max_seconds,
+                                     until_end=args.until_end):
+                out.write(f"{entry['seq']}\t{entry['kind']}\t"
+                          f"{entry['query_id']}\t{entry['line']}\n")
+                out.flush()
+        except KeyboardInterrupt:
+            pass
+        summary = sub.stop()
+        out.write(f"-- {summary.get('delivered', 0)} delivered, "
+                  f"{summary.get('dropped', 0)} dropped, "
+                  f"{summary.get('missed', 0)} missed "
+                  f"(last_seq={sub.last_seq})\n")
+    return 0 if sub.received else 1
 
 
 def _cmd_listen(args, out) -> int:
@@ -402,6 +461,7 @@ def _cmd_chaos(args, out) -> int:
 _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "watch": _cmd_watch,
     "listen": _cmd_listen,
     "offline": _cmd_offline,
     "screenshot": _cmd_screenshot,

@@ -220,6 +220,60 @@ UDP_RECEIVE_BACKLOG = REGISTRY.gauge(
 )
 
 # --------------------------------------------------------------------------
+# repro.profiler.broadcast — the live trace broadcast hub
+# --------------------------------------------------------------------------
+
+BROADCAST_PUBLISHED = REGISTRY.counter(
+    "repro_broadcast_published_total",
+    "Entries published into the trace broadcast hub, by line kind "
+    "(event, dot, end). Each profiler event is published exactly once "
+    "regardless of how many subscribers fan out from it.",
+    labels=("kind",),
+    unit="entries",
+)
+
+BROADCAST_DELIVERED = REGISTRY.counter(
+    "repro_broadcast_delivered_total",
+    "Entries handed to subscribers by the hub (published entries times "
+    "the subscribers that kept up).",
+    unit="entries",
+)
+
+BROADCAST_DROPPED = REGISTRY.counter(
+    "repro_broadcast_dropped_total",
+    "Entries a subscriber lost, by reason: slow-subscriber (its bounded "
+    "buffer overflowed, oldest entry evicted) or resume-gap (a "
+    "subscribe from=<seq> asked for entries older than the hub "
+    "retains).",
+    labels=("reason",),
+    unit="entries",
+)
+
+BROADCAST_SUBSCRIBERS_ACTIVE = REGISTRY.gauge(
+    "repro_broadcast_subscribers_active",
+    "Subscriptions currently attached to the trace broadcast hub.",
+    unit="subscribers",
+)
+
+BROADCAST_SUBSCRIPTIONS = REGISTRY.counter(
+    "repro_broadcast_subscriptions_total",
+    "Subscribe attempts, by outcome: accepted (fresh subscription), "
+    "resumed (carried a from=<seq> resume point), refused (the "
+    "max-subscribers cap was hit).",
+    labels=("outcome",),
+    unit="subscriptions",
+)
+
+BROADCAST_SUBSCRIBER_LAG = REGISTRY.histogram(
+    "repro_broadcast_subscriber_lag_events",
+    "How far behind the hub's newest sequence number a subscriber was "
+    "at each delivery batch, in entries. Zero means the subscriber "
+    "keeps up; values near the buffer size mean drop-oldest is close.",
+    unit="events",
+    buckets=(1.0, 8.0, 32.0, 128.0, 512.0, 2_048.0, 8_192.0),
+)
+
+# --------------------------------------------------------------------------
 # repro.faults — deterministic fault injection
 # --------------------------------------------------------------------------
 

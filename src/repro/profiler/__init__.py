@@ -8,6 +8,11 @@ source, streamed over UDP to a (textual) Stethoscope, or dumped to a trace
 file for offline analysis.
 """
 
+from repro.profiler.broadcast import (
+    BroadcastEntry,
+    HubPipe,
+    TraceBroadcastHub,
+)
 from repro.profiler.events import TraceEvent, format_event, parse_event
 from repro.profiler.filters import EventFilter
 from repro.profiler.profiler import Profiler
@@ -16,8 +21,11 @@ from repro.profiler.traceio import read_trace, write_trace
 
 __all__ = [
     "DOT_PREFIX",
+    "BroadcastEntry",
     "EventFilter",
+    "HubPipe",
     "Profiler",
+    "TraceBroadcastHub",
     "TraceEvent",
     "UdpEmitter",
     "UdpReceiver",

@@ -14,8 +14,8 @@ line-delimited JSON — a simplification of MonetDB's MAPI protocol that
 keeps the same request/response structure (documented in DESIGN.md).
 """
 
-from repro.server.client import MClient
+from repro.server.client import ClientSubscription, MClient
 from repro.server.database import Database
 from repro.server.mserver import Mserver
 
-__all__ = ["Database", "MClient", "Mserver"]
+__all__ = ["ClientSubscription", "Database", "MClient", "Mserver"]

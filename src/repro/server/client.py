@@ -27,6 +27,7 @@ from repro.errors import (
     ConnectionLostError,
     ReproError,
     RequestTimeoutError,
+    ServerError,
     ServerOverloadedError,
 )
 from repro.metrics.families import CLIENT_DEADLINE_EXCEEDED, CLIENT_RETRIES
@@ -89,6 +90,7 @@ class MClient:
         self._rng = random.Random(retry_seed)
         self._socket: Optional[socket.socket] = None
         self._buffer = b""
+        self._subscription: Optional["ClientSubscription"] = None
         # session-state requests replayed after a reconnect, keyed so a
         # later profiler/pipeline choice replaces the earlier one
         self._session_state: Dict[str, Dict[str, Any]] = {}
@@ -150,6 +152,10 @@ class MClient:
     def _call(self, request: Dict[str, Any],
               deadline_s: Optional[float] = None,
               retryable: bool = True) -> Dict[str, Any]:
+        if self._subscription is not None:
+            raise ServerError(
+                "a subscription is active on this connection; stop() it "
+                "before issuing other requests (or use a second client)")
         budget = self.deadline_s if deadline_s is None else deadline_s
         deadline = None if budget is None else time.monotonic() + budget
         op = str(request.get("op", "?"))
@@ -352,9 +358,56 @@ class MClient:
         self._call({"op": "profiler", "off": True})
         self._session_state.pop("profiler", None)
 
+    def subscribe(self, from_seq: Optional[int] = None,
+                  query_id: str = "",
+                  buffer: Optional[int] = None) -> "ClientSubscription":
+        """Attach to the server's live trace broadcast hub.
+
+        The connection switches to streaming mode: the returned
+        :class:`ClientSubscription` reads hub entries (dot lines, trace
+        events, end markers — each carrying a monotonic ``seq``) until
+        :meth:`ClientSubscription.stop` detaches.  While subscribed,
+        other requests on this client raise — attach a second
+        ``MClient`` to query concurrently.  Pass ``from_seq`` (usually
+        a previous subscription's ``last_seq + 1``) to resume a broken
+        session without losing entries still in the server's history.
+        """
+        request: Dict[str, Any] = {"op": "subscribe"}
+        if from_seq is not None:
+            request["from_seq"] = int(from_seq)
+        if query_id:
+            request["query_id"] = query_id
+        if buffer is not None:
+            request["buffer"] = int(buffer)
+        ack = self._call(request, retryable=False)
+        subscription = ClientSubscription(self, ack)
+        self._subscription = subscription
+        return subscription
+
+    def _recv_message(self, timeout: float) -> Optional[Dict[str, Any]]:
+        """Read one message line; None on timeout, raises on EOF."""
+        assert self._socket is not None
+        while b"\n" not in self._buffer:
+            try:
+                self._socket.settimeout(timeout)
+                chunk = self._socket.recv(65536)
+            except socket.timeout:
+                return None
+            if not chunk:
+                raise ConnectionLostError(
+                    f"{self.host}:{self.port} closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_message(line)
+
     def close(self) -> None:
         if self._socket is None:
             return
+        if self._subscription is not None:
+            try:
+                self._subscription.stop()
+            except (ReproError, OSError):
+                self._subscription = None
         try:
             self._call({"op": "quit"}, deadline_s=1.0, retryable=False)
         except (ReproError, OSError):
@@ -366,3 +419,107 @@ class MClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class ClientSubscription:
+    """The client-side view of one ``subscribe`` session.
+
+    Iterate :meth:`entries` to read hub entries (dicts with ``seq``,
+    ``kind`` ∈ {event, dot, end}, ``query_id`` and the raw ``line``) as
+    the server streams them; :attr:`last_seq` always holds the newest
+    sequence number seen, so after a disconnect a fresh client can
+    ``subscribe(from_seq=sub.last_seq + 1)`` to resume without gaps
+    (as long as the server's history ring still covers the range).
+    """
+
+    def __init__(self, client: MClient, ack: Dict[str, Any]) -> None:
+        self.client = client
+        self.subscriber_id: str = ack.get("subscriber_id", "")
+        self.next_seq: int = int(ack.get("next_seq", 0))
+        self.missed: int = int(ack.get("missed", 0))
+        self.buffer: int = int(ack.get("buffer", 0))
+        self.last_seq: int = -1
+        self.received = 0
+        self.summary: Optional[Dict[str, Any]] = None
+        self._active = True
+
+    def next_entry(self, timeout: float = 1.0) -> Optional[Dict[str, Any]]:
+        """One hub entry, or None when nothing arrives in ``timeout``."""
+        if not self._active:
+            return None
+        message = self.client._recv_message(timeout=timeout)
+        if message is None:
+            return None
+        if "seq" in message:
+            self.last_seq = max(self.last_seq, int(message["seq"]))
+            self.received += 1
+        return message
+
+    def entries(self, idle_timeout: float = 1.0,
+                max_seconds: Optional[float] = None,
+                until_end: bool = False):
+        """Yield hub entries until idle, deadline, or an ``end`` marker.
+
+        ``idle_timeout`` bounds the wait for each next entry;
+        ``max_seconds`` bounds the whole iteration; ``until_end`` stops
+        (after yielding it) at the first end-of-query marker — the
+        natural way to follow exactly one query to completion.
+        """
+        began = time.monotonic()
+        while self._active:
+            budget = idle_timeout
+            if max_seconds is not None:
+                remaining = max_seconds - (time.monotonic() - began)
+                if remaining <= 0:
+                    return
+                budget = min(budget, remaining)
+            entry = self.next_entry(timeout=budget)
+            if entry is None:
+                if max_seconds is None:
+                    return
+                continue
+            yield entry
+            if until_end and entry.get("kind") == "end":
+                return
+
+    def stop(self, timeout: float = 5.0) -> Dict[str, Any]:
+        """Detach from the hub and return the delivery summary.
+
+        Entries still in flight between the ``unsubscribe`` request and
+        its response are consumed (and counted) on the way out, so the
+        connection is clean for ordinary requests afterwards.
+        """
+        if not self._active:
+            return self.summary or {}
+        self._active = False
+        self.client._subscription = None
+        client = self.client
+        assert client._socket is not None
+        client._socket.settimeout(timeout)
+        client._socket.sendall(encode_message({"op": "unsubscribe"}))
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RequestTimeoutError(
+                    "unsubscribe response did not arrive in time")
+            message = client._recv_message(timeout=remaining)
+            if message is None:
+                continue
+            if "seq" in message:
+                self.last_seq = max(self.last_seq, int(message["seq"]))
+                self.received += 1
+                continue
+            if not message.get("ok"):
+                raise error_from_payload(message)
+            self.summary = message
+            return message
+
+    def __enter__(self) -> "ClientSubscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.stop()
+        except (ReproError, OSError):
+            pass

@@ -23,6 +23,14 @@ One JSON object per line in each direction.  Requests carry an ``op``:
 ``stats``    engine metrics snapshot → ``{"ok": true, "metrics":
              {...}}`` — every family in the ``repro.metrics`` registry
              (see ``docs/metrics_reference.md``)
+``subscribe``  attach to the live trace broadcast hub; optional
+             ``from_seq`` resumes from a sequence number, ``query_id``
+             narrows to one query, ``buffer`` bounds the server-side
+             queue.  The connection then interleaves entry lines
+             (objects carrying ``seq``) with responses to pipelined
+             requests — see ``docs/streaming.md``
+``unsubscribe``  detach from the hub → delivery summary (``delivered``,
+             ``dropped``, ``missed``)
 ``quit``     close the connection
 ===========  ==========================================================
 
@@ -54,6 +62,14 @@ from repro.errors import (
 )
 
 _DATE_TAG = "@date:"
+
+#: Every request verb the server dispatches on.  ``docs/streaming.md``
+#: must document each of these — the docs-consistency gate
+#: (``tests/test_docs.py``) checks the doc against this tuple.
+VERBS = (
+    "ping", "query", "cancel", "queries", "explain", "dot", "set",
+    "profiler", "stats", "subscribe", "unsubscribe", "quit",
+)
 
 #: Upper bound on one protocol line.  A peer that buffers more than
 #: this without seeing a newline is framing garbage (or hostile); the
@@ -104,6 +120,10 @@ _ERROR_CODES = (
     ("overloaded", ServerOverloadedError),
 )
 _CODE_TO_ERROR = {code: cls for code, cls in _ERROR_CODES}
+
+#: The wire error codes, in encoding-priority order — the docs gate
+#: checks ``docs/streaming.md`` documents every one of these.
+ERROR_CODES = tuple(code for code, _cls in _ERROR_CODES)
 
 
 def error_payload(exc: BaseException) -> Dict[str, Any]:

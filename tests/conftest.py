@@ -19,6 +19,7 @@ _GUARDED_MODULES = (
     "test_server",
     "test_server_lifecycle",
     "test_chaos_online",
+    "test_broadcast",
 )
 
 

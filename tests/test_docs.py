@@ -78,7 +78,7 @@ class TestDocstringCoverage:
     def test_docs_directory_complete(self):
         for name in ("architecture.md", "mal_reference.md",
                      "trace_format.md", "metrics_reference.md",
-                     "operations.md"):
+                     "operations.md", "streaming.md"):
             assert os.path.exists(os.path.join(DOCS_DIR, name))
 
 
@@ -163,6 +163,68 @@ class TestProseMatchesCode:
                 if not os.path.exists(resolved):
                     broken.append(f"{os.path.basename(path)} -> {target}")
         assert not broken, f"dead links: {broken}"
+
+    HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+    @classmethod
+    def _anchors(cls, text):
+        """GitHub-style anchor slugs for every heading in a doc."""
+        slugs = set()
+        for heading in cls.HEADING.findall(text):
+            slug = re.sub(r"[^\w\- ]", "", heading.strip().lower())
+            slugs.add(slug.replace(" ", "-"))
+        return slugs
+
+    def test_no_dead_anchors(self):
+        """Every ``#fragment`` in an intra-repo link names a heading."""
+        texts = _doc_texts()
+        broken = []
+        for path, text in texts.items():
+            base = os.path.dirname(path)
+            for target in self.MD_LINK.findall(text):
+                if target.startswith(("http://", "https://")):
+                    continue
+                if "#" not in target:
+                    continue
+                file_part, fragment = target.split("#", 1)
+                resolved = path if not file_part \
+                    else os.path.join(base, file_part)
+                resolved = os.path.normpath(resolved)
+                if resolved not in texts:
+                    continue  # dead files are the link test's job
+                if fragment not in self._anchors(texts[resolved]):
+                    broken.append(f"{os.path.basename(path)} -> "
+                                  f"{target}")
+        assert not broken, f"dead anchors: {broken}"
+
+    def test_streaming_doc_covers_every_verb(self):
+        """docs/streaming.md documents each protocol verb, and its verb
+        table names nothing the dispatcher does not accept."""
+        from repro.server.protocol import VERBS
+
+        text = open(os.path.join(DOCS_DIR, "streaming.md")).read()
+        missing = [verb for verb in VERBS if f"`{verb}`" not in text]
+        assert not missing, (
+            f"streaming.md does not document verbs: {missing}")
+        # table rows whose first cell is a single backticked word must
+        # name real verbs or error codes — no phantom protocol surface
+        from repro.server.protocol import ERROR_CODES
+
+        known = set(VERBS) | set(ERROR_CODES)
+        phantom = [cell for cell in
+                   re.findall(r"^\| `([a-z-]+)` \|", text, re.MULTILINE)
+                   if cell not in known]
+        assert not phantom, (
+            f"streaming.md tables name unknown verbs/codes: {phantom}")
+
+    def test_streaming_doc_covers_every_error_code(self):
+        from repro.server.protocol import ERROR_CODES
+
+        text = open(os.path.join(DOCS_DIR, "streaming.md")).read()
+        missing = [code for code in ERROR_CODES
+                   if f"`{code}`" not in text]
+        assert not missing, (
+            f"streaming.md does not document error codes: {missing}")
 
     def test_backtick_file_paths_exist(self):
         roots = (REPO_ROOT, DOCS_DIR, os.path.join(REPO_ROOT, "src/repro"))
