@@ -138,6 +138,18 @@ class Subscription:
                 self._cv.wait(timeout)
         return self.pop_batch(max_entries)
 
+    def uncredit(self, count: int) -> None:
+        """Take back delivery credit for popped-but-never-sent entries.
+
+        The asyncio server pops a batch and then writes it to the
+        socket; if the stream task is cancelled between the two, the
+        popped entries were counted by :meth:`pop_batch` but the peer
+        never received them — the unsubscribe summary must not claim
+        they were delivered.
+        """
+        if count > 0:
+            self.delivered = max(0, self.delivered - count)
+
     def pending(self) -> int:
         """Entries buffered but not yet popped."""
         with self._cv:
@@ -286,32 +298,33 @@ class TraceBroadcastHub:
                     BROADCAST_DROPPED.labels(
                         reason="slow-subscriber").inc(overflow)
             self._subs[sub.subscriber_id] = sub
-            attached = len(self._subs)
+            # set the gauge under the hub lock: concurrent
+            # subscribe/unsubscribe would otherwise apply their `set`
+            # calls out of order and leave the gauge permanently stale
+            BROADCAST_SUBSCRIBERS_ACTIVE.set(len(self._subs))
         outcome = "resumed" if from_seq is not None else "accepted"
         BROADCAST_SUBSCRIPTIONS.labels(outcome=outcome).inc()
-        BROADCAST_SUBSCRIBERS_ACTIVE.set(attached)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         """Detach a subscription (idempotent)."""
         with self._lock:
             self._subs.pop(sub.subscriber_id, None)
-            attached = len(self._subs)
+            BROADCAST_SUBSCRIBERS_ACTIVE.set(len(self._subs))
         with sub._cv:
             sub.closed = True
             sub._cv.notify_all()
-        BROADCAST_SUBSCRIBERS_ACTIVE.set(attached)
 
     def close_all(self) -> None:
         """Detach every subscription (server shutdown)."""
         with self._lock:
             subs = list(self._subs.values())
             self._subs.clear()
+            BROADCAST_SUBSCRIBERS_ACTIVE.set(0)
         for sub in subs:
             with sub._cv:
                 sub.closed = True
                 sub._cv.notify_all()
-        BROADCAST_SUBSCRIBERS_ACTIVE.set(0)
 
     def stats(self) -> Dict[str, object]:
         """JSON-safe hub summary (exposed on the ``stats`` verb)."""

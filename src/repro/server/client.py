@@ -492,28 +492,40 @@ class ClientSubscription:
         if not self._active:
             return self.summary or {}
         self._active = False
-        self.client._subscription = None
         client = self.client
         assert client._socket is not None
-        client._socket.settimeout(timeout)
-        client._socket.sendall(encode_message({"op": "unsubscribe"}))
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise RequestTimeoutError(
-                    "unsubscribe response did not arrive in time")
-            message = client._recv_message(timeout=remaining)
-            if message is None:
-                continue
-            if "seq" in message:
-                self.last_seq = max(self.last_seq, int(message["seq"]))
-                self.received += 1
-                continue
-            if not message.get("ok"):
-                raise error_from_payload(message)
-            self.summary = message
-            return message
+        try:
+            client._socket.settimeout(timeout)
+            client._socket.sendall(encode_message({"op": "unsubscribe"}))
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RequestTimeoutError(
+                        "unsubscribe response did not arrive in time")
+                message = client._recv_message(timeout=remaining)
+                if message is None:
+                    continue
+                if "seq" in message:
+                    self.last_seq = max(self.last_seq,
+                                        int(message["seq"]))
+                    self.received += 1
+                    continue
+                if not message.get("ok"):
+                    raise error_from_payload(message)
+                self.summary = message
+                # only now is the connection out of streaming mode —
+                # clearing the guard earlier would let ordinary
+                # requests read stray entry lines as their responses
+                client._subscription = None
+                return message
+        except (ReproError, OSError):
+            # handshake failed: the connection may still be streaming,
+            # so drop it — the next request reconnects cleanly instead
+            # of misreading broadcast entries as its response
+            client._subscription = None
+            client._teardown()
+            raise
 
     def __enter__(self) -> "ClientSubscription":
         return self

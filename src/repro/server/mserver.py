@@ -376,6 +376,12 @@ class _Connection:
                     # stream — no inbound timeout while subscribed
                     line = await self.reader.readline()
             except asyncio.TimeoutError:
+                # re-check before hanging up: a pipelined `subscribe`
+                # may have activated after this timed wait was armed —
+                # the exemption must hold even though the reader raced
+                # ahead of the processor
+                if self.subscription is not None:
+                    continue
                 await self.requests.put(_HANGUP)
                 return
             except ValueError:
@@ -442,7 +448,7 @@ class _Connection:
         if op == "subscribe":
             return self._handle_subscribe(request)
         if op == "unsubscribe":
-            return self._handle_unsubscribe()
+            return await self._handle_unsubscribe()
         if op in ("query", "explain", "dot"):
             loop = asyncio.get_event_loop()
             return await loop.run_in_executor(
@@ -503,16 +509,24 @@ class _Connection:
                 "missed": self.subscription.missed,
                 "buffer": self.subscription.buffer_size}
 
-    def _handle_unsubscribe(self) -> Dict:
+    async def _handle_unsubscribe(self) -> Dict:
         if self.subscription is None:
             raise ServerError("not subscribed")
         sub = self.subscription
         self.subscription = None
         sub.close()
-        if self._stream_task is not None:
+        task = self._stream_task
+        self._stream_task = None
+        if task is not None:
             self._wake.set()
-            self._stream_task.cancel()
-            self._stream_task = None
+            task.cancel()
+            # await it so an in-flight batch is accounted (the task's
+            # cancellation handler uncredits entries popped but never
+            # written) before the summary counters are read
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
         summary = sub.describe()
         return {"ok": True, "unsubscribed": True,
                 "delivered": summary["delivered"],
@@ -526,12 +540,16 @@ class _Connection:
         reading the connection tells them apart from request responses
         by that key (``docs/streaming.md`` §5).
         """
+        sub = None
+        batch: list = []
+        sent = 0
         try:
             while not self._closing:
                 sub = self.subscription
                 if sub is None:
                     return
                 batch = sub.pop_batch(max_entries=256)
+                sent = 0
                 if not batch:
                     self._wake.clear()
                     if self.subscription is None or \
@@ -542,8 +560,14 @@ class _Connection:
                 for entry in batch:
                     if not await self._send(entry.payload()):
                         return
+                    sent += 1
+                batch = []
         except asyncio.CancelledError:
-            pass
+            # cancelled mid-batch (unsubscribe/teardown): entries popped
+            # but never written must not count as delivered in the
+            # summary; the one in flight is conservatively uncounted too
+            if sub is not None:
+                sub.uncredit(len(batch) - sent)
 
 
 #: Reader→processor sentinels (peer hung up / oversized request line).

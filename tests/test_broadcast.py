@@ -12,7 +12,11 @@ import time
 
 import pytest
 
-from repro.errors import ServerError, ServerOverloadedError
+from repro.errors import (
+    RequestTimeoutError,
+    ServerError,
+    ServerOverloadedError,
+)
 from repro.profiler.broadcast import TraceBroadcastHub
 from repro.server import Database, MClient, Mserver
 from repro.tpch import populate
@@ -195,6 +199,41 @@ class TestSubscribeProtocol:
                 viewer.ping()
             sub.stop()
             assert viewer.ping()
+
+    def test_subscriber_survives_idle_timeout(self, server, monkeypatch):
+        # The reader arms its timed wait before the processor handles a
+        # pipelined subscribe; a watcher that then only reads (sending
+        # no further bytes) must NOT be hung up when that stale timed
+        # wait fires — the subscribed exemption has to win the race.
+        from repro.server import mserver as mserver_mod
+        monkeypatch.setattr(mserver_mod, "_IDLE_TIMEOUT_S", 0.3)
+        with MClient(port=server.port) as viewer:
+            sub = viewer.subscribe()
+            time.sleep(1.0)  # silent for >3x the idle timeout
+            server.hub.publish("event", "still-alive", query_id="qx")
+            entry = sub.next_entry(timeout=2.0)
+            assert entry is not None
+            assert entry["line"] == "still-alive"
+            summary = sub.stop()
+            assert summary["unsubscribed"] is True
+
+    def test_stop_timeout_breaks_connection_for_clean_reuse(
+            self, server, monkeypatch):
+        # If the unsubscribe handshake times out, the connection may
+        # still be streaming — stop() must drop it (forcing the next
+        # request onto a fresh connection) rather than leave the client
+        # reading stray broadcast entries as responses.
+        with MClient(port=server.port) as viewer:
+            viewer.subscribe()
+            sub = viewer._subscription
+            monkeypatch.setattr(viewer, "_recv_message",
+                                lambda timeout: None)
+            with pytest.raises(RequestTimeoutError):
+                sub.stop(timeout=0.3)
+            monkeypatch.undo()
+            assert viewer._subscription is None
+            assert viewer._socket is None  # broken, not half-streaming
+            assert viewer.ping()  # reconnects cleanly
 
     def test_subscribe_unknown_query_rejected(self, server):
         with MClient(port=server.port) as client:
