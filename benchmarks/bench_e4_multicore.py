@@ -1,4 +1,4 @@
-"""Experiment E4 — multi-core utilisation analysis.
+"""Experiment E4 — multi-core utilisation analysis (MODELLED).
 
 The paper's online demo "exhibits degree of multi-threaded
 parallelization of MAL instructions"; its conclusion reports finding a
@@ -6,6 +6,15 @@ plan that ran sequentially when parallel execution was expected.  This
 bench sweeps the worker count on TPC-H queries (virtual-time scheduler,
 so the speedup curve is deterministic), runs the mitosis on/off ablation,
 and reproduces the anomaly detection.
+
+Scope note: every speedup here is *virtual-clock* — the cost model's
+makespan under simulated scheduling.  Kernels still execute serially in
+this process (Python threads are GIL-bound, and the simulated scheduler
+is single-threaded anyway), so nothing below measures real multi-core
+wall clock.  For genuine process-parallel execution — partition
+fragments on forked workers via ``repro.mal.mpool`` — see experiment
+E11 (``bench_e11_parallel.py``), which gates both the modelled speedup
+and the pool's correctness invariants.
 """
 
 import os

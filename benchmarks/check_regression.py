@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression gate for the committed E9 and E10 baselines.
+"""Perf regression gate for the committed E9, E10 and E11 baselines.
 
 E9 (kernels): runs the kernel/plan-cache benchmarks fresh and compares
 every recorded speedup against the committed baseline in
@@ -13,6 +13,14 @@ response delivered, zero broadcast events lost for keep-up
 subscribers, identical streams — against both the fresh run and the
 committed ``benchmarks/BENCH_E10_connections.json``.  Raw rates are
 machine-dependent, so they are printed but never gated.
+
+E11 (partition parallelism): runs the worker-pool benchmarks fresh,
+gates the deterministic *modelled* 4-worker speedup (must stay >= 2.5x
+and within --tolerance of ``benchmarks/BENCH_E11_parallel.json``) and
+the pool invariants (identical rows, real remote dispatch, recovery
+from a killed worker).  Measured wall-clock speedups are printed
+always, but gated against the baseline only when both the fresh run
+and the baseline were taken on >= 4 cores.
 
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py          # check
@@ -34,6 +42,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_e9_kernels  # noqa: E402
 import bench_e10_connections  # noqa: E402
+import bench_e11_parallel  # noqa: E402
 
 
 def check_e9(args) -> int:
@@ -123,14 +132,89 @@ def check_e10(args) -> int:
     return 0
 
 
+def check_e11(args) -> int:
+    fresh = bench_e11_parallel.run_benchmarks()
+    if args.write:
+        bench_e11_parallel.write_results(
+            fresh, bench_e11_parallel.BASELINE_PATH)
+        print("baseline rewritten: "
+              f"{bench_e11_parallel.BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(bench_e11_parallel.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e11_parallel.BASELINE_PATH}; run with "
+              "--write first", file=sys.stderr)
+        return 2
+    with open(bench_e11_parallel.BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = list(bench_e11_parallel.check_invariants(fresh))
+    for name in fresh["invariants"]:
+        if not baseline.get("invariants", {}).get(name, False):
+            failures.append(
+                f"committed baseline violates invariant: {name}")
+    for name, held in sorted(fresh["invariants"].items()):
+        print(f"{name:26s} {'ok' if held else 'VIOLATED'}")
+
+    floor = 1.0 - args.tolerance
+    want = baseline.get("modelled", {}).get("speedup", 2.5)
+    got = fresh["modelled"]["speedup"]
+    status = "ok"
+    if got < 2.5:
+        status = "REGRESSED"
+        failures.append(
+            f"modelled 4-worker speedup {got}x < required 2.5x")
+    elif got < want * floor:
+        status = "REGRESSED"
+        failures.append(
+            f"modelled 4-worker speedup {got}x < {floor:.0%} of "
+            f"baseline {want}x")
+    print(f"{'modelled_speedup':26s} baseline={want:.2f}x "
+          f"fresh={got:.2f}x {status}")
+
+    # measured wall clock: only comparable machine-to-machine when both
+    # runs had real cores to parallelize across
+    cores = fresh["measured"]["cores"]
+    base_cores = baseline.get("measured", {}).get("cores", 1)
+    gate_measured = cores >= 4 and base_cores >= 4
+    for workers, result in sorted(fresh["measured"]["pools"].items()):
+        got = result["speedup"]
+        want = baseline.get("measured", {}).get("pools", {}) \
+                       .get(workers, {}).get("speedup")
+        status = "info"
+        if gate_measured and want is not None and got < want * floor:
+            status = "REGRESSED"
+            failures.append(
+                f"measured {workers}-worker speedup {got}x < "
+                f"{floor:.0%} of baseline {want}x")
+        elif gate_measured:
+            status = "ok"
+        print(f"{'measured_' + workers + 'w':26s} "
+              f"baseline={want if want is not None else '-'}x "
+              f"fresh={got}x {status}")
+    if not gate_measured:
+        print(f"(info) measured speedups not gated: fresh run on "
+              f"{cores} core(s), baseline on {base_cores}")
+
+    if failures:
+        print(f"\n{len(failures)} E11 check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall partition-parallel checks hold")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true",
                         help="rewrite the committed baseline(s) and exit")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup loss (default .25)")
-    parser.add_argument("--only", choices=["e9", "e10"], default=None,
-                        help="run a single gate instead of both")
+    parser.add_argument("--only", choices=["e9", "e10", "e11"],
+                        default=None,
+                        help="run a single gate instead of all")
     args = parser.parse_args()
 
     status = 0
@@ -139,6 +223,9 @@ def main() -> int:
     if args.only in (None, "e10"):
         print()
         status = max(status, check_e10(args))
+    if args.only in (None, "e11"):
+        print()
+        status = max(status, check_e11(args))
     return status
 
 

@@ -39,7 +39,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=50000)
     serve.add_argument("--scale", type=float, default=0.1,
                        help="TPC-H scale factor (1.0 = ~6000 lineitems)")
-    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="dataflow workers the schedulers model (also "
+                            "the mitosis partition count); scheduling "
+                            "only — kernels execute in-process unless "
+                            "--parallel-workers >= 2")
+    serve.add_argument("--parallel-workers", type=int, default=0,
+                       help="partition worker processes; the default 0 "
+                            "(and 1) keeps all kernel execution "
+                            "in-process, >= 2 forks a pool running "
+                            "mitosis fragments one per core")
+    serve.add_argument("--parallel-min-rows", type=int, default=2048,
+                       help="plans shipping fewer partition rows than "
+                            "this run in-process even with a pool "
+                            "(0 forces the pool)")
     serve.add_argument("--plan-cache-size", type=int, default=64,
                        help="optimized plans kept by the LRU plan cache "
                             "(0 disables plan caching)")
@@ -82,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the plan's dot file instead of executing")
     query.add_argument("--pipeline", default=None,
                        help="optimizer pipeline for this session")
+    query.add_argument("--scheduler", default=None,
+                       choices=("simulated", "threaded"),
+                       help="execution scheduler for this session "
+                            "(default: the server's, normally "
+                            "\"simulated\"); either way kernels run "
+                            "in-process unless the server was started "
+                            "with --parallel-workers >= 2")
     query.add_argument("--deadline", type=float, default=None,
                        help="server-side deadline for this query (seconds)")
     query.add_argument("--cancel", metavar="QUERY_ID", default=None,
@@ -201,11 +221,15 @@ def _cmd_serve(args, out) -> int:
 
         catalog = load_catalog(args.catalog)
         db = Database(catalog=catalog, workers=args.workers,
-                      plan_cache_size=args.plan_cache_size)
+                      plan_cache_size=args.plan_cache_size,
+                      parallel_workers=args.parallel_workers,
+                      parallel_min_rows=args.parallel_min_rows)
         out.write(f"loaded catalog from {args.catalog}\n")
     else:
         db = Database(workers=args.workers,
-                      plan_cache_size=args.plan_cache_size)
+                      plan_cache_size=args.plan_cache_size,
+                      parallel_workers=args.parallel_workers,
+                      parallel_min_rows=args.parallel_min_rows)
         counts = populate(db.catalog, scale_factor=args.scale)
         out.write(f"TPC-H sf={args.scale}: "
                   f"{counts['lineitem']} lineitems\n")
@@ -256,6 +280,8 @@ def _cmd_query(args, out) -> int:
             return 2
         if args.pipeline:
             client.set_pipeline(args.pipeline)
+        if args.scheduler:
+            client.set_scheduler(args.scheduler)
         if args.explain:
             out.write(client.explain(args.sql) + "\n")
             return 0

@@ -15,6 +15,8 @@ site                   actions
 ``udp.emit``           ``drop``, ``dup``, ``reorder``, ``truncate``
 ``server.loop``        ``latency`` (ms), ``reset``
 ``scheduler.worker``   ``stall`` (usec), ``crash``
+``mpool.worker``       ``crash``, ``stall`` (ms)
+``mpool.ship``         ``truncate``, ``latency`` (ms)
 =====================  =============================================
 
 Plans are *armed* globally through the module-level :data:`ACTIVE`
@@ -39,6 +41,8 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "udp.emit": ("drop", "dup", "reorder", "truncate"),
     "server.loop": ("latency", "reset"),
     "scheduler.worker": ("stall", "crash"),
+    "mpool.worker": ("crash", "stall"),
+    "mpool.ship": ("truncate", "latency"),
 }
 
 

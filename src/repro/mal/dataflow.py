@@ -42,7 +42,9 @@ from repro.mal.interpreter import (
     ExecutionResult,
     InstructionRun,
     RunListener,
+    bind_precomputed,
     execute_instruction,
+    precompute_fragments,
     record_execution,
 )
 from repro.mal.printer import format_instruction
@@ -72,12 +74,20 @@ class SimulatedScheduler:
     def __init__(self, catalog: Catalog, workers: int = 4,
                  cost_model: Optional[CostModel] = None,
                  listener: Optional[RunListener] = None,
-                 contention: float = 0.0) -> None:
+                 contention: float = 0.0,
+                 pool=None) -> None:
         """``contention`` models shared-resource (memory bandwidth)
         pressure: an instruction starting while *n* other workers are
         busy runs ``1 + contention * n`` times slower.  Zero (default)
         gives the ideal-machine speedups; ~0.05-0.15 reproduces the
-        sub-linear scaling real multi-cores show."""
+        sub-linear scaling real multi-cores show.
+
+        ``pool`` is an optional
+        :class:`~repro.mal.mpool.PartitionWorkerPool`: partition
+        fragments precompute in worker processes before the scheduling
+        loop, whose decisions (and the resulting trace) are unchanged —
+        precomputed results are bound where the kernels would have run.
+        """
         if workers < 1:
             raise MalRuntimeError("need at least one worker")
         if contention < 0:
@@ -87,6 +97,7 @@ class SimulatedScheduler:
         self.cost_model = cost_model or CostModel()
         self.listener = listener
         self.contention = contention
+        self.pool = pool
 
     def run(self, program: MalProgram,
             context: Optional["QueryContext"] = None) -> ExecutionResult:
@@ -99,6 +110,8 @@ class SimulatedScheduler:
         program.validate()
         fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
+        precomputed = precompute_fragments(
+            self.pool, program, self.catalog, context)
         ctx = EvalContext(self.catalog, program)
         deps = program.dependencies()
         instructions = {i.pc: i for i in program.instructions}
@@ -137,7 +150,11 @@ class SimulatedScheduler:
                         # the worker sits idle before taking the job
                         worker_free[widx] += int(decision.value or 1000)
             start = max(worker_free[widx], ready_usec)
-            inputs, outputs = execute_instruction(ctx, instr)
+            if pc in precomputed:
+                inputs, outputs = bind_precomputed(ctx, instr,
+                                                   precomputed[pc])
+            else:
+                inputs, outputs = execute_instruction(ctx, instr)
             cost = self.cost_model.cost_usec(instr, inputs, outputs)
             if self.contention > 0:
                 busy = sum(
@@ -210,7 +227,8 @@ class ThreadedScheduler:
     def __init__(self, catalog: Catalog, workers: int = 4,
                  cost_model: Optional[CostModel] = None,
                  listener: Optional[RunListener] = None,
-                 realtime_scale: float = 1e-3) -> None:
+                 realtime_scale: float = 1e-3,
+                 pool=None) -> None:
         if workers < 1:
             raise MalRuntimeError("need at least one worker")
         self.catalog = catalog
@@ -218,6 +236,7 @@ class ThreadedScheduler:
         self.cost_model = cost_model or CostModel()
         self.listener = listener
         self.realtime_scale = realtime_scale
+        self.pool = pool
 
     def run(self, program: MalProgram,
             context: Optional["QueryContext"] = None) -> ExecutionResult:
@@ -230,6 +249,8 @@ class ThreadedScheduler:
         program.validate()
         fault_plan = ACTIVE.plan  # captured once; stable for the run
         workers = self.workers if program.dataflow_enabled else 1
+        precomputed = precompute_fragments(
+            self.pool, program, self.catalog, context)
         ctx = EvalContext(self.catalog, program)
         deps = program.dependencies()
         pending: Dict[int, Set[int]] = {pc: set(d) for pc, d in deps.items()}
@@ -301,15 +322,18 @@ class ThreadedScheduler:
                         if context is not None:
                             context.check(ctx.rss_bytes())
                         inputs = [ctx.value_of(a) for a in instr.args]
-                    # run the implementation outside the env lock
-                    from repro.mal.interpreter import resolve_impl
-
-                    impl = resolve_impl(instr)
-                    out = impl(ctx, instr, inputs)
-                    if len(instr.results) <= 1:
-                        outputs = [out] if instr.results else []
+                    if pc in precomputed:
+                        outputs = list(precomputed[pc])
                     else:
-                        outputs = list(out)
+                        # run the implementation outside the env lock
+                        from repro.mal.interpreter import resolve_impl
+
+                        impl = resolve_impl(instr)
+                        out = impl(ctx, instr, inputs)
+                        if len(instr.results) <= 1:
+                            outputs = [out] if instr.results else []
+                        else:
+                            outputs = list(out)
                     cost = self.cost_model.cost_usec(instr, inputs, outputs)
                     if self.realtime_scale > 0:
                         time.sleep(cost * self.realtime_scale / 1_000_000.0)

@@ -256,6 +256,38 @@ def execute_instruction(ctx: EvalContext, instr: MalInstruction) -> Tuple[list, 
     return inputs, outputs
 
 
+def bind_precomputed(ctx: EvalContext, instr: MalInstruction,
+                     outputs: Sequence[Any]) -> Tuple[list, list]:
+    """Bind a partition worker's precomputed outputs for ``instr``.
+
+    Drop-in replacement for :func:`execute_instruction` when the
+    instruction already ran in a worker process (see
+    :mod:`repro.mal.mpool`): inputs are still resolved from the
+    environment and results still bound into it, so cost modelling,
+    rows and RSS accounting see exactly what an in-process execution
+    would have produced — only the kernel invocation is skipped.
+    """
+    inputs = [ctx.value_of(arg) for arg in instr.args]
+    for name, value in zip(instr.results, outputs):
+        ctx.env[name] = value
+    return inputs, list(outputs)
+
+
+def precompute_fragments(pool, program: MalProgram, catalog: Catalog,
+                         context: Optional["QueryContext"] = None,
+                         ) -> Dict[int, List[Any]]:
+    """Shared engine entry point into the partition worker pool.
+
+    Returns ``{}`` (run everything in-process) when ``pool`` is None or
+    the plan has no dataflow barrier; otherwise defers to
+    :meth:`~repro.mal.mpool.PartitionWorkerPool.precompute`, which
+    applies its own fallbacks (fragment count, row threshold, purity).
+    """
+    if pool is None or not program.dataflow_enabled:
+        return {}
+    return pool.precompute(program, catalog, context)
+
+
 class Interpreter:
     """Reference (sequential) MAL interpreter.
 
@@ -267,16 +299,22 @@ class Interpreter:
             instruction.
         realtime_scale: when > 0, additionally sleep
             ``cost_usec * realtime_scale`` microseconds per instruction.
+        pool: optional :class:`~repro.mal.mpool.PartitionWorkerPool`;
+            when given, partition fragments of mitosis-split plans are
+            precomputed in worker processes and their results bound in
+            place of in-process kernel execution.
     """
 
     def __init__(self, catalog: Catalog,
                  cost_model: Optional[CostModel] = None,
                  listener: Optional[RunListener] = None,
-                 realtime_scale: float = 0.0) -> None:
+                 realtime_scale: float = 0.0,
+                 pool=None) -> None:
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.listener = listener
         self.realtime_scale = realtime_scale
+        self.pool = pool
 
     def run(self, program: MalProgram,
             context: Optional["QueryContext"] = None) -> ExecutionResult:
@@ -290,6 +328,8 @@ class Interpreter:
         """
         program.validate()
         ctx = EvalContext(self.catalog, program)
+        precomputed = precompute_fragments(
+            self.pool, program, self.catalog, context)
         clock = 0
         runs: List[InstructionRun] = []
         from repro.mal.printer import format_instruction
@@ -305,7 +345,11 @@ class Interpreter:
             )
             if self.listener is not None:
                 self.listener("start", start_run)
-            inputs, outputs = execute_instruction(ctx, instr)
+            if instr.pc in precomputed:
+                inputs, outputs = bind_precomputed(
+                    ctx, instr, precomputed[instr.pc])
+            else:
+                inputs, outputs = execute_instruction(ctx, instr)
             cost = self.cost_model.cost_usec(instr, inputs, outputs)
             if self.realtime_scale > 0:
                 time.sleep(cost * self.realtime_scale / 1_000_000.0)

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.mal.ast import MalProgram
 from repro.mal.dataflow import SimulatedScheduler, ThreadedScheduler
 from repro.mal.interpreter import ExecutionResult, Interpreter, RunListener
+from repro.mal.mpool import DEFAULT_MIN_ROWS, PartitionWorkerPool
 from repro.mal.optimizer import Mitosis, Pipeline, pipeline_by_name
 from repro.mal.printer import format_program
 from repro.sqlfe.ast import CreateTable, DropTable, Insert, Literal, Select, UnaryOp
@@ -178,16 +179,26 @@ class Database:
         pipeline_name: optimizer pipeline (``default_pipe``,
             ``sequential_pipe``, ``minimal_pipe``).
         scheduler: ``"simulated"`` (deterministic virtual time, default)
-            or ``"threaded"`` (real threads).
+            or ``"threaded"`` (real threads).  Both run kernels
+            *in-process* by default — see ``parallel_workers``.
         plan_cache_size: maximum optimized plans kept by the LRU plan
             cache; 0 disables plan caching.
+        parallel_workers: partition worker *processes*.  0 or 1 (the
+            default) keeps all kernel execution in-process; >= 2 forks a
+            :class:`~repro.mal.mpool.PartitionWorkerPool` that executes
+            mitosis partition fragments one-per-core and hands the
+            results back to whichever scheduler runs the plan.
+        parallel_min_rows: plans shipping fewer partition rows than this
+            stay in-process (pool overhead floor); 0 forces the pool.
     """
 
     def __init__(self, catalog: Optional[Catalog] = None, workers: int = 4,
                  pipeline_name: str = "default_pipe",
                  scheduler: str = "simulated",
                  mitosis_threshold: int = 1000,
-                 plan_cache_size: int = 64) -> None:
+                 plan_cache_size: int = 64,
+                 parallel_workers: int = 0,
+                 parallel_min_rows: int = DEFAULT_MIN_ROWS) -> None:
         self.catalog = catalog or Catalog()
         self.workers = workers
         self.pipeline_name = pipeline_name
@@ -200,6 +211,19 @@ class Database:
         self.plan_cache = PlanCache(plan_cache_size)
         #: last compiled (optimized) plan, for explain/dot consumers
         self.last_program: Optional[MalProgram] = None
+        #: partition worker pool, or None for in-process execution.
+        #: Forked eagerly, before the server spins up executor threads —
+        #: forking a threaded process is where fork goes wrong.
+        self.pool: Optional[PartitionWorkerPool] = None
+        if parallel_workers and parallel_workers > 1:
+            self.pool = PartitionWorkerPool(
+                workers=parallel_workers,
+                min_rows=parallel_min_rows).start()
+
+    def close(self) -> None:
+        """Release owned resources (the worker pool); idempotent."""
+        if self.pool is not None:
+            self.pool.close()
 
     # ------------------------------------------------------------------
 
@@ -368,14 +392,15 @@ class Database:
         if scheduler == "threaded":
             return ThreadedScheduler(
                 self.catalog, workers=workers, listener=listener,
-                realtime_scale=1e-4,
+                realtime_scale=1e-4, pool=self.pool,
             ).run(program, context)
         if program.dataflow_enabled:
             return SimulatedScheduler(
-                self.catalog, workers=workers, listener=listener
+                self.catalog, workers=workers, listener=listener,
+                pool=self.pool,
             ).run(program, context)
-        return Interpreter(self.catalog, listener=listener).run(program,
-                                                                context)
+        return Interpreter(self.catalog, listener=listener,
+                           pool=self.pool).run(program, context)
 
     def _execute_traced(self, sql: str,
                         context: Optional["QueryContext"] = None,

@@ -257,6 +257,7 @@ class Mserver:
             self._executor.shutdown(wait=True)
             self._executor = None
         self.watchdog.stop()
+        self.database.close()
 
     def __enter__(self) -> "Mserver":
         return self.start()

@@ -54,11 +54,14 @@ import json
 from typing import Any, Dict
 
 from repro.errors import (
+    PartitionShipError,
     QueryBudgetError,
     QueryCancelledError,
     QueryDeadlineError,
+    ReproError,
     ServerError,
     ServerOverloadedError,
+    WorkerCrashError,
 )
 
 _DATE_TAG = "@date:"
@@ -118,6 +121,8 @@ _ERROR_CODES = (
     ("rss-budget", QueryBudgetError),
     ("cancelled", QueryCancelledError),
     ("overloaded", ServerOverloadedError),
+    ("worker-crash", WorkerCrashError),
+    ("ship-corrupt", PartitionShipError),
 )
 _CODE_TO_ERROR = {code: cls for code, cls in _ERROR_CODES}
 
@@ -144,7 +149,7 @@ def error_payload(exc: BaseException) -> Dict[str, Any]:
     return payload
 
 
-def error_from_payload(payload: Dict[str, Any]) -> ServerError:
+def error_from_payload(payload: Dict[str, Any]) -> ReproError:
     """Rebuild the typed error an ``{"ok": false}`` response encodes."""
     message = payload.get("error", "request failed")
     cls = _CODE_TO_ERROR.get(payload.get("code", ""))

@@ -145,7 +145,8 @@ class BAT:
     """
 
     __slots__ = ("tail_type", "tail", "head", "hseqbase", "_bytes_cache",
-                 "_index_cache", "_multimap_cache", "_order_cache")
+                 "_index_cache", "_multimap_cache", "_order_cache",
+                 "_ship_cache")
 
     def __init__(
         self,
@@ -164,6 +165,7 @@ class BAT:
         self._index_cache: Optional[Tuple[int, dict]] = None
         self._multimap_cache: Optional[Tuple[int, dict]] = None
         self._order_cache: Optional[Tuple[int, List[int], List[Any]]] = None
+        self._ship_cache: Optional[Tuple[int, bytes]] = None
         if self.head is not None and len(self.head) != len(self.tail):
             raise StorageError(
                 f"head/tail length mismatch: {len(self.head)} vs {len(self.tail)}"
@@ -246,6 +248,7 @@ class BAT:
         self._index_cache = None
         self._multimap_cache = None
         self._order_cache = None
+        self._ship_cache = None
 
     def bytes(self) -> int:
         """Approximate memory footprint, for rss accounting in traces.
@@ -268,6 +271,40 @@ class BAT:
         total = head_bytes + tail_bytes
         self._bytes_cache = (key, total)
         return total
+
+    def to_ship_bytes(self) -> bytes:
+        """Serialized form for shipping to a partition worker process.
+
+        Memoized like :meth:`bytes`: a column shipped to several workers
+        (an unpartitioned join side, a partition slice re-run under the
+        plan cache) is pickled once and the payload reused.  Invalidated
+        by :meth:`append`/:meth:`extend` and guarded by the current
+        length as a backstop.
+        """
+        import pickle
+
+        cached = self._ship_cache
+        if cached is not None and cached[0] == len(self.tail):
+            return cached[1]
+        payload = pickle.dumps(
+            (self.tail_type.name, self.tail, self.head, self.hseqbase),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._ship_cache = (len(self.tail), payload)
+        return payload
+
+    @classmethod
+    def from_ship_bytes(cls, payload: bytes) -> "BAT":
+        """Rebuild a BAT from :meth:`to_ship_bytes` output."""
+        import pickle
+
+        from repro.storage.types import type_by_name
+
+        type_name, tail, head, hseqbase = pickle.loads(payload)
+        out = cls(type_by_name(type_name), hseqbase=hseqbase)
+        out.tail = tail
+        out.head = head
+        return out
 
     def copy(self) -> "BAT":
         """Deep-enough copy (tails hold immutable atoms)."""

@@ -9,9 +9,11 @@ size.
 """
 
 from repro.workloads.generator import (
+    random_query,
     synthetic_plan,
     synthetic_trace,
     trace_for_program,
 )
 
-__all__ = ["synthetic_plan", "synthetic_trace", "trace_for_program"]
+__all__ = ["random_query", "synthetic_plan", "synthetic_trace",
+           "trace_for_program"]

@@ -124,3 +124,47 @@ def synthetic_trace(chains: int = 8, chain_length: int = 4,
         synthetic_plan(chains, chain_length), workers=workers, seed=seed,
         long_fraction=long_fraction,
     )
+
+
+#: Numeric lineitem columns :func:`random_query` predicates/aggregates
+#: over, with plausible literal ranges for the TPC-H datagen.
+_QUERY_COLUMNS = {
+    "l_quantity": (1, 50),
+    "l_extendedprice": (100, 90_000),
+    "l_discount": (0.0, 0.1),
+    "l_tax": (0.0, 0.08),
+    "l_partkey": (1, 200),
+    "l_suppkey": (1, 10),
+}
+_GROUP_COLUMNS = ("l_returnflag", "l_linestatus")
+_AGGREGATES = ("sum", "min", "max", "avg", "count")
+_COMPARATORS = (">", "<", ">=", "<=")
+
+
+def random_query(rng: random.Random, table: str = "lineitem") -> str:
+    """One random SQL query in the supported dialect, from ``rng``.
+
+    Queries are scalar aggregates or group-bys over numeric ``table``
+    columns with 0-2 ``and``-joined comparison predicates — the shapes
+    the mitosis optimizer partitions, so parallel-parity property tests
+    can sweep the plan space (serial and process-parallel execution
+    must return identical rows for every query this emits).
+    """
+    agg = rng.choice(_AGGREGATES)
+    column = rng.choice(sorted(_QUERY_COLUMNS))
+    select = "count(*)" if agg == "count" else f"{agg}({column})"
+    predicates = []
+    for _ in range(rng.randint(0, 2)):
+        pred_col = rng.choice(sorted(_QUERY_COLUMNS))
+        low, high = _QUERY_COLUMNS[pred_col]
+        if isinstance(low, float):
+            literal = f"{rng.uniform(low, high):.2f}"
+        else:
+            literal = str(rng.randint(low, high))
+        predicates.append(f"{pred_col} {rng.choice(_COMPARATORS)} {literal}")
+    where = f" where {' and '.join(predicates)}" if predicates else ""
+    if rng.random() < 0.5:
+        group = rng.choice(_GROUP_COLUMNS)
+        return (f"select {group}, {select} from {table}{where} "
+                f"group by {group} order by {group}")
+    return f"select {select} from {table}{where}"

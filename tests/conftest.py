@@ -1,25 +1,32 @@
 """Shared fixtures: the server-test leak guard.
 
-Server tests start real threads and sockets; a test that forgets to
-stop a server (or a server that forgets to reap its handler threads)
-must fail loudly here rather than slowing every later test.  The guard
-snapshots non-daemon threads and this process's open socket fds before
-each server test and asserts both return to baseline afterwards,
-retrying briefly so orderly teardown has time to finish.
+Server tests start real threads and sockets, and worker-pool tests fork
+real child processes; a test that forgets to stop a server or close a
+pool must fail loudly here rather than slowing every later test.  The
+guard snapshots non-daemon threads, this process's open socket fds,
+live multiprocessing children, and POSIX shared-memory/semaphore
+segments before each guarded test and asserts all four return to
+baseline afterwards, retrying briefly so orderly teardown has time to
+finish.  Module-scoped pools are fine: pytest instantiates them before
+the first test's snapshot and tears them down after the last one's.
 """
 
+import multiprocessing
 import os
 import threading
 import time
 
 import pytest
 
-#: Test modules whose tests touch server sockets/threads.
+#: Test modules whose tests touch server sockets/threads or fork
+#: partition worker processes.
 _GUARDED_MODULES = (
     "test_server",
     "test_server_lifecycle",
     "test_chaos_online",
     "test_broadcast",
+    "test_mpool",
+    "test_parallel_parity",
 )
 
 
@@ -45,24 +52,53 @@ def _live_non_daemon() -> set:
             if t.is_alive() and not t.daemon}
 
 
+def _child_pids() -> set:
+    """PIDs of live multiprocessing children (also reaps finished ones)."""
+    return {p.pid for p in multiprocessing.active_children()
+            if p.is_alive()}
+
+
+def _shm_segments() -> set:
+    """POSIX shared-memory and named-semaphore segments of this boot."""
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith(("psm_", "sem."))}
+    except OSError:
+        return set()  # no /dev/shm (non-Linux); other checks still apply
+
+
 @pytest.fixture(autouse=True)
 def leak_guard(request):
-    """Fail any server test that leaks threads or sockets."""
+    """Fail any guarded test that leaks threads, sockets, child
+    processes, or shared-memory segments."""
     module = request.node.module.__name__.rsplit(".", 1)[-1]
     if module not in _GUARDED_MODULES:
         yield
         return
     threads_before = _live_non_daemon()
-    sockets_before = _socket_fds()
+    # counts, not identities, for sockets and children: a worker pool
+    # that (correctly) re-forks a crashed worker replaces its pipe fds
+    # and child pid without growing either total
+    sockets_before = len(_socket_fds())
+    children_before = len(_child_pids())
+    shm_before = _shm_segments()
     yield
     deadline = time.monotonic() + 2.0
     while time.monotonic() < deadline:
         leaked_threads = _live_non_daemon() - threads_before
-        leaked_sockets = _socket_fds() - sockets_before
-        if not leaked_threads and not leaked_sockets:
+        leaked_sockets = len(_socket_fds()) - sockets_before
+        leaked_children = len(_child_pids()) - children_before
+        leaked_shm = _shm_segments() - shm_before
+        if not leaked_threads and leaked_sockets <= 0 \
+                and leaked_children <= 0 and not leaked_shm:
             return
         time.sleep(0.05)
     assert not leaked_threads, (
         f"leaked non-daemon threads: {[t.name for t in leaked_threads]}")
-    assert not leaked_sockets, (
-        f"leaked {len(leaked_sockets)} socket fd(s)")
+    assert leaked_sockets <= 0, (
+        f"leaked {leaked_sockets} socket fd(s)")
+    assert leaked_children <= 0, (
+        f"leaked {leaked_children} child process(es): "
+        f"{sorted(_child_pids())}")
+    assert not leaked_shm, (
+        f"leaked shared-memory segments: {sorted(leaked_shm)}")

@@ -397,7 +397,8 @@ class TestSchedulerFaults:
         with armed(FaultPlan(seed=1).on("scheduler.worker", "crash",
                                         limit=1)):
             client = MClient(port=server.port, retries=0)
-            with pytest.raises(ServerError) as info:
+            # the worker-crash wire code reconstructs the precise type
+            with pytest.raises(WorkerCrashError) as info:
                 client.query("select count(*) from lineitem "
                              "where l_quantity > 10")
             assert "injected crash" in str(info.value)

@@ -1,0 +1,199 @@
+"""Unit, fault and lifecycle tests for the partition worker pool."""
+
+import pytest
+
+from repro.errors import (
+    PartitionShipError,
+    QueryBudgetError,
+    QueryDeadlineError,
+    WorkerCrashError,
+)
+from repro.faults import FaultPlan, armed
+from repro.mal.mpool import DEFAULT_MIN_ROWS, PartitionWorkerPool, ShadowBAT
+from repro.mal.optimizer.mitosis import extract_fragments
+from repro.server.database import Database
+from repro.server.lifecycle import QueryContext
+from repro.storage import Catalog
+from repro.storage.bat import BAT
+from repro.storage.types import type_by_name
+from repro.tpch import populate, query_sql
+
+SQL = ("select sum(l_extendedprice * l_discount) from lineitem "
+       "where l_quantity > 10")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    populate(cat, scale_factor=0.05, seed=7)
+    return cat
+
+
+@pytest.fixture(scope="module")
+def database(catalog):
+    return Database(catalog=catalog, workers=4, mitosis_threshold=50)
+
+
+@pytest.fixture(scope="module")
+def program(database):
+    return database.compile(SQL)
+
+
+@pytest.fixture
+def pool():
+    pool = PartitionWorkerPool(workers=2, min_rows=0).start()
+    yield pool
+    pool.close()
+
+
+class TestFragments:
+    def test_partitions_are_disjoint_and_complete(self, program):
+        fragments = extract_fragments(program)
+        assert len(fragments) == 4
+        all_pcs = [pc for f in fragments for pc in f.pcs]
+        assert len(all_pcs) == len(set(all_pcs))
+        for fragment in fragments:
+            assert fragment.outputs  # every fragment feeds the fold
+            assert fragment.inputs
+
+    def test_unpartitioned_plan_has_no_fragments(self, catalog):
+        db = Database(catalog=catalog, workers=1, mitosis_threshold=50)
+        assert extract_fragments(db.compile(SQL)) == []
+
+
+class TestShipBytes:
+    def test_roundtrip(self):
+        bat = BAT(type_by_name("int"))
+        bat.extend([1, 2, 3])
+        clone = BAT.from_ship_bytes(bat.to_ship_bytes())
+        assert clone.tail == bat.tail
+        assert clone.tail_type is bat.tail_type
+        assert clone.hseqbase == bat.hseqbase
+
+    def test_memoized_until_mutation(self):
+        bat = BAT(type_by_name("int"))
+        bat.extend([1, 2, 3])
+        first = bat.to_ship_bytes()
+        assert bat.to_ship_bytes() is first
+        bat.append(4)
+        assert bat.to_ship_bytes() is not first
+
+
+class TestShadowBAT:
+    def test_reports_remote_shape(self):
+        shadow = ShadowBAT(type_by_name("lng"), rows=1234, footprint=9876)
+        assert len(shadow) == 1234
+        assert shadow.count() == 1234
+        assert shadow.bytes() == 9876
+        assert isinstance(shadow, BAT)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_restartable(self):
+        pool = PartitionWorkerPool(workers=2, min_rows=0)
+        pool.start()
+        assert pool.alive == 2
+        pool.close()
+        pool.close()
+        assert pool.alive == 0
+        pool.start()
+        assert pool.alive == 2
+        pool.close()
+
+    def test_single_worker_never_forks(self):
+        pool = PartitionWorkerPool(workers=1).start()
+        assert pool.alive == 0
+        pool.close()
+
+    def test_deadline_propagates_to_workers(self, pool, program, catalog):
+        context = QueryContext("q1", deadline_s=0.0)
+        with pytest.raises(QueryDeadlineError):
+            pool.precompute(program, catalog, context)
+        assert pool.precompute(program, catalog)  # pool still healthy
+
+    def test_rss_budget_propagates_to_workers(self, program, catalog):
+        pool = PartitionWorkerPool(workers=2, min_rows=0, poll_s=0.01)
+        try:
+            context = QueryContext("q2", rss_budget_bytes=1)
+            # the parent prologue already exceeds a 1-byte budget
+            with pytest.raises(QueryBudgetError):
+                pool.precompute(program, catalog, context)
+        finally:
+            pool.close()
+
+    def test_database_owns_pool(self, catalog):
+        db = Database(catalog=catalog, workers=4, mitosis_threshold=50,
+                      parallel_workers=2, parallel_min_rows=0)
+        try:
+            assert db.pool is not None and db.pool.alive == 2
+            outcome = db.execute(SQL)
+            assert outcome.rows
+        finally:
+            db.close()
+        assert db.pool.alive == 0
+
+    def test_database_default_is_in_process(self, catalog):
+        db = Database(catalog=catalog)
+        assert db.pool is None
+        db.close()  # harmless no-op
+
+    def test_default_min_rows_is_conservative(self):
+        assert PartitionWorkerPool().min_rows == DEFAULT_MIN_ROWS
+
+
+class TestFaults:
+    def test_worker_crash_is_typed_and_pool_recovers(self, pool, program,
+                                                     catalog):
+        plan = FaultPlan(seed=3).on("mpool.worker", "crash", limit=1)
+        with armed(plan):
+            with pytest.raises(WorkerCrashError):
+                pool.precompute(program, catalog)
+        assert plan.fires("mpool.worker", "crash") == 1
+        # the pool re-forked the killed worker; next query is clean
+        assert pool.precompute(program, catalog)
+        assert pool.alive == 2
+
+    def test_genuine_worker_death_is_typed(self, pool, program, catalog):
+        victim = pool._workers[0]
+        victim.process.kill()
+        victim.process.join(timeout=5.0)
+        # note: _ensure_workers_locked in precompute re-forks dead
+        # workers *before* dispatch, so kill one mid-collect instead
+        original = pool._ensure_workers_locked
+        pool._ensure_workers_locked = lambda: None
+        try:
+            with pytest.raises(WorkerCrashError):
+                pool.precompute(program, catalog)
+        finally:
+            pool._ensure_workers_locked = original
+        assert pool.precompute(program, catalog)
+
+    def test_ship_truncate_is_typed(self, pool, program, catalog):
+        plan = FaultPlan(seed=5).on("mpool.ship", "truncate", limit=1)
+        with armed(plan):
+            with pytest.raises(PartitionShipError):
+                pool.precompute(program, catalog)
+        assert pool.precompute(program, catalog)
+
+    def test_stall_and_latency_only_slow_things_down(self, pool, program,
+                                                     catalog):
+        baseline = pool.precompute(program, catalog)
+        plan = (FaultPlan(seed=7)
+                .on("mpool.worker", "stall", value=5)
+                .on("mpool.ship", "latency", value=2))
+        with armed(plan):
+            delayed = pool.precompute(program, catalog)
+        assert set(delayed) == set(baseline)
+        assert plan.fires("mpool.worker", "stall") == 4
+        assert plan.fires("mpool.ship", "latency") == 4
+
+    def test_fault_journal_is_deterministic(self, pool, program, catalog):
+        def journal():
+            plan = (FaultPlan(seed=11)
+                    .on("mpool.worker", "stall", value=1, probability=0.5)
+                    .on("mpool.ship", "latency", value=1, probability=0.5))
+            with armed(plan):
+                pool.precompute(program, catalog)
+            return list(plan.journal)
+
+        assert journal() == journal()

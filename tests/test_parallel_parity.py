@@ -1,0 +1,115 @@
+"""Serial vs process-parallel parity across the TPC-H suite.
+
+The partition worker pool must be invisible in every observable way
+except wall-clock: for each TPC-H query, for every mitosis partition
+count and pool size, the result rows AND the profiler trace events of a
+pool-backed run must be byte-identical to the in-process run.  The pool
+precomputes fragment outputs in worker processes; the parent replays
+the unchanged scheduling loop, so cost, rows, rss, thread assignments
+and clock values may not drift by a single byte.
+"""
+
+import pytest
+
+from repro.mal.dataflow import SimulatedScheduler
+from repro.mal.mpool import PartitionWorkerPool
+from repro.metrics.families import MPOOL_FALLBACKS, MPOOL_TASKS
+from repro.profiler import Profiler
+from repro.server.database import Database
+from repro.storage import Catalog
+from repro.tpch import QUERIES, populate, query_sql
+
+NPARTS = (1, 2, 4, 8)
+POOL_WORKERS = (1, 2, 4)
+
+#: Low enough that the 0.05-scale lineitem (~300 rows) partitions.
+MITOSIS_THRESHOLD = 50
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    populate(cat, scale_factor=0.05, seed=7)
+    return cat
+
+
+@pytest.fixture(scope="module")
+def databases(catalog):
+    """One Database per partition count (its workers drive mitosis)."""
+    return {nparts: Database(catalog=catalog, workers=nparts,
+                             mitosis_threshold=MITOSIS_THRESHOLD)
+            for nparts in NPARTS}
+
+
+@pytest.fixture(scope="module")
+def pools():
+    pools = {w: PartitionWorkerPool(workers=w, min_rows=0).start()
+             for w in POOL_WORKERS}
+    yield pools
+    for pool in pools.values():
+        pool.close()
+
+
+def _trace_run(catalog, program, pool):
+    profiler = Profiler()
+    scheduler = SimulatedScheduler(catalog, workers=4, listener=profiler,
+                                   pool=pool)
+    result = scheduler.run(program)
+    events = [(e.event, e.clock_usec, e.status, e.pc, e.thread, e.usec,
+               e.rss_bytes, e.stmt) for e in profiler.events]
+    return result, events
+
+
+@pytest.fixture(scope="module")
+def baselines(catalog, databases):
+    """Serial (in-process) rows + trace per (query, nparts), lazily."""
+    cache = {}
+
+    def get(name, nparts):
+        key = (name, nparts)
+        if key not in cache:
+            program = databases[nparts].compile(query_sql(name))
+            result, events = _trace_run(catalog, program, None)
+            cache[key] = (result.rows(), events)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("workers", POOL_WORKERS)
+@pytest.mark.parametrize("nparts", NPARTS)
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_parity(name, nparts, workers, catalog, databases, pools, baselines):
+    program = databases[nparts].compile(query_sql(name))
+    serial_rows, serial_events = baselines(name, nparts)
+    result, events = _trace_run(catalog, program, pools[workers])
+    assert result.rows() == serial_rows
+    assert events == serial_events
+
+
+class TestActuallyRemote:
+    """Parity is vacuous if everything silently fell back in-process."""
+
+    def test_fragments_dispatch_to_workers(self, catalog, databases, pools):
+        before = MPOOL_TASKS.labels(outcome="ok").value()
+        program = databases[4].compile(query_sql("q6"))
+        _trace_run(catalog, program, pools[2])
+        assert MPOOL_TASKS.labels(outcome="ok").value() >= before + 4
+
+    def test_single_worker_pool_falls_back(self, catalog, databases, pools):
+        before = MPOOL_FALLBACKS.labels(reason="workers").value()
+        program = databases[4].compile(query_sql("q6"))
+        _trace_run(catalog, program, pools[1])
+        assert MPOOL_FALLBACKS.labels(reason="workers").value() == before + 1
+
+    def test_row_threshold_falls_back(self, catalog, databases):
+        pool = PartitionWorkerPool(workers=2, min_rows=10**9).start()
+        try:
+            before = MPOOL_FALLBACKS.labels(reason="small-plan").value()
+            program = databases[4].compile(query_sql("q6"))
+            result, _ = _trace_run(catalog, program, pool)
+            assert MPOOL_FALLBACKS.labels(
+                reason="small-plan").value() == before + 1
+            assert result.rows()  # still correct, just in-process
+        finally:
+            pool.close()

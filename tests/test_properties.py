@@ -336,3 +336,60 @@ class TestMalProperties:
         again = parse_program(text)
         assert [i.qualified_name for i in again] == \
             [i.qualified_name for i in program]
+
+
+# ---------------------------------------------------------------------------
+# partition-parallel invariants
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parallel_env():
+    """One catalog, two databases: in-process and pool-backed."""
+    import repro.tpch as tpch
+    from repro.server.database import Database
+
+    catalog = Catalog()
+    tpch.populate(catalog, scale_factor=0.05, seed=7)
+    serial = Database(catalog=catalog, workers=4, mitosis_threshold=50)
+    parallel = Database(catalog=catalog, workers=4, mitosis_threshold=50,
+                        parallel_workers=2, parallel_min_rows=0)
+    yield serial, parallel
+    parallel.close()
+
+
+class TestParallelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_queries_agree_serial_vs_parallel(self, parallel_env,
+                                                     seed):
+        import random
+
+        from repro.workloads import random_query
+
+        serial, parallel = parallel_env
+        sql = random_query(random.Random(seed))
+        assert serial.execute(sql).rows == parallel.execute(sql).rows
+
+    @settings(max_examples=50, deadline=None)
+    @given(int_lists, st.integers(1, 8), st.integers(0, 2**32 - 1))
+    def test_pack_of_any_partition_permutation_preserves_heads(
+            self, values, nparts, seed):
+        import random
+
+        from repro.mal.modules.mat import pack
+
+        rng = random.Random(seed)
+        # split into nparts contiguous partitions with global head oids
+        bounds = sorted(rng.randint(0, len(values))
+                        for _ in range(nparts - 1))
+        parts, start = [], 0
+        for end in bounds + [len(values)]:
+            parts.append(BAT(INT, values[start:end], hseqbase=start))
+            start = end
+        rng.shuffle(parts)
+        packed = pack(None, None, parts)
+        # head oid -> value survives any pack order of the partitions
+        assert dict(zip(packed.heads(), packed.tail)) == \
+            dict(enumerate(values))
+        assert len(packed) == len(values)
