@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression gate for the committed E9, E10 and E11 baselines.
+"""Perf regression gate for the committed E9-E12 baselines.
 
 E9 (kernels): runs the kernel/plan-cache benchmarks fresh and compares
 every recorded speedup against the committed baseline in
@@ -22,6 +22,14 @@ from a killed worker).  Measured wall-clock speedups are printed
 always, but gated against the baseline only when both the fresh run
 and the baseline were taken on >= 4 cores.
 
+E12 (durability): runs the WAL/checkpoint/recovery benchmarks fresh
+and checks the *invariants* -- group commit batched (fewer fsyncs than
+records), every record durable, recovery byte-identical to the
+acknowledged state from both a raw WAL and a checkpoint + tail,
+checkpoints round-trip byte-identically -- against both the fresh run
+and the committed ``benchmarks/BENCH_E12_durability.json``.  Rates are
+printed but never gated.
+
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --write  # rebase
@@ -43,6 +51,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_e9_kernels  # noqa: E402
 import bench_e10_connections  # noqa: E402
 import bench_e11_parallel  # noqa: E402
+import bench_e12_durability  # noqa: E402
 
 
 def check_e9(args) -> int:
@@ -206,13 +215,58 @@ def check_e11(args) -> int:
     return 0
 
 
+def check_e12(args) -> int:
+    fresh = bench_e12_durability.run_benchmarks()
+    if args.write:
+        bench_e12_durability.write_results(
+            fresh, bench_e12_durability.BASELINE_PATH)
+        print("baseline rewritten: "
+              f"{bench_e12_durability.BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(bench_e12_durability.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e12_durability.BASELINE_PATH}; run with "
+              "--write first", file=sys.stderr)
+        return 2
+    with open(bench_e12_durability.BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = list(bench_e12_durability.check_invariants(fresh))
+    # the committed baseline must hold every invariant the fresh run
+    # knows about -- a baseline rebased over a violation is itself a bug
+    for name in fresh["invariants"]:
+        if not baseline.get("invariants", {}).get(name, False):
+            failures.append(
+                f"committed baseline violates invariant: {name}")
+    for name, held in sorted(fresh["invariants"].items()):
+        print(f"{name:32s} {'ok' if held else 'VIOLATED'}")
+    batched = fresh["group_commit"]["batched"]
+    recovery = fresh["recovery"]
+    print(f"(info) {batched['records']} records in "
+          f"{batched['fsyncs']} fsyncs "
+          f"({batched['records_per_fsync']} rec/fsync); full replay "
+          f"{recovery['full_replay']['wal_records']} records in "
+          f"{recovery['full_replay']['seconds']}s, checkpointed tail "
+          f"{recovery['checkpointed']['wal_records']} in "
+          f"{recovery['checkpointed']['seconds']}s")
+
+    if failures:
+        print(f"\n{len(failures)} E12 check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall durability invariants hold")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true",
                         help="rewrite the committed baseline(s) and exit")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup loss (default .25)")
-    parser.add_argument("--only", choices=["e9", "e10", "e11"],
+    parser.add_argument("--only", choices=["e9", "e10", "e11", "e12"],
                         default=None,
                         help="run a single gate instead of all")
     args = parser.parse_args()
@@ -226,6 +280,9 @@ def main() -> int:
     if args.only in (None, "e11"):
         print()
         status = max(status, check_e11(args))
+    if args.only in (None, "e12"):
+        print()
+        status = max(status, check_e12(args))
     return status
 
 

@@ -17,6 +17,10 @@ Subcommands mirror how the paper's tools are operated:
                or a running server's via ``--port``)
 ``chaos``      seeded fault-injection sweep against an in-process
                server; prints a pass/fail invariant report
+``checkpoint``  recover a WAL directory, write a fresh checkpoint, and
+               truncate the log (offline compaction)
+``recover``    recover a WAL directory and report what survived —
+               checkpoint used, records replayed, torn tail dropped
 =============  =========================================================
 """
 
@@ -58,6 +62,20 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 disables plan caching)")
     serve.add_argument("--catalog", help="load a saved catalog instead of "
                                          "generating TPC-H data")
+    serve.add_argument("--wal-dir", default=None,
+                       help="durable mode: write-ahead log + checkpoint "
+                            "directory; an empty directory starts fresh "
+                            "(data generated and checkpointed), one with "
+                            "state is recovered and --scale/--catalog "
+                            "are ignored")
+    serve.add_argument("--checkpoint-interval", type=int, default=256,
+                       help="statements between automatic checkpoints in "
+                            "durable mode (0 disables; checkpoint "
+                            "offline with the 'checkpoint' command)")
+    serve.add_argument("--commit-window-ms", type=float, default=2.0,
+                       help="group-commit window: how long the first "
+                            "writer waits for company before one fsync "
+                            "covers the batch (0 = fsync per statement)")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop after this long (default: run forever)")
     serve.add_argument("--max-concurrent", type=int, default=4,
@@ -204,6 +222,18 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--wall-cap", type=float, default=20.0,
                        help="per-case wall-clock cap in seconds")
 
+    checkpoint = commands.add_parser(
+        "checkpoint", help="compact a WAL directory into a checkpoint"
+    )
+    checkpoint.add_argument("wal_dir",
+                            help="durable directory (serve --wal-dir)")
+
+    recover = commands.add_parser(
+        "recover", help="recover a WAL directory and report the result"
+    )
+    recover.add_argument("wal_dir",
+                         help="durable directory (serve --wal-dir)")
+
     return parser
 
 
@@ -216,20 +246,32 @@ def _cmd_serve(args, out) -> int:
     from repro.server import Database, Mserver
     from repro.tpch import populate
 
+    db_options = dict(workers=args.workers,
+                      plan_cache_size=args.plan_cache_size,
+                      parallel_workers=args.parallel_workers,
+                      parallel_min_rows=args.parallel_min_rows)
+    if args.wal_dir:
+        db_options.update(wal_dir=args.wal_dir,
+                          commit_window_ms=args.commit_window_ms,
+                          checkpoint_interval=args.checkpoint_interval)
     if args.catalog:
         from repro.storage.persist import load_catalog
 
         catalog = load_catalog(args.catalog)
-        db = Database(catalog=catalog, workers=args.workers,
-                      plan_cache_size=args.plan_cache_size,
-                      parallel_workers=args.parallel_workers,
-                      parallel_min_rows=args.parallel_min_rows)
+        db = Database(catalog=catalog, **db_options)
         out.write(f"loaded catalog from {args.catalog}\n")
+    elif args.wal_dir:
+        db = Database(**db_options)
+        if db.recovery is not None and db.recovery.recovered_anything:
+            out.write(db.recovery.describe() + "\n")
+        else:
+            counts = populate(db.catalog, scale_factor=args.scale)
+            report = db.checkpoint()
+            out.write(f"TPC-H sf={args.scale}: "
+                      f"{counts['lineitem']} lineitems, baseline "
+                      f"checkpoint at {report.path}\n")
     else:
-        db = Database(workers=args.workers,
-                      plan_cache_size=args.plan_cache_size,
-                      parallel_workers=args.parallel_workers,
-                      parallel_min_rows=args.parallel_min_rows)
+        db = Database(**db_options)
         counts = populate(db.catalog, scale_factor=args.scale)
         out.write(f"TPC-H sf={args.scale}: "
                   f"{counts['lineitem']} lineitems\n")
@@ -484,6 +526,34 @@ def _cmd_chaos(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_checkpoint(args, out) -> int:
+    from repro.storage.durable import DurableEngine
+
+    engine = DurableEngine(args.wal_dir)
+    try:
+        out.write(engine.report.describe() + "\n")
+        report = engine.checkpoint()
+        out.write(f"checkpoint at lsn {report.lsn}: {report.path} "
+                  f"({report.files} column files, {report.rows} rows, "
+                  f"{report.bytes} bytes); wal truncated\n")
+    finally:
+        engine.close()
+    return 0
+
+
+def _cmd_recover(args, out) -> int:
+    from repro.storage.durable import recover
+
+    catalog, report = recover(args.wal_dir)
+    out.write(report.describe() + "\n")
+    for schema in catalog.schemas.values():
+        for table in schema.tables.values():
+            out.write(f"  {schema.name}.{table.name}: "
+                      f"{table.row_count()} rows, "
+                      f"{len(table.columns)} columns\n")
+    return 0
+
+
 _COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
@@ -495,6 +565,8 @@ _COMMANDS = {
     "datagen": _cmd_datagen,
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
+    "checkpoint": _cmd_checkpoint,
+    "recover": _cmd_recover,
 }
 
 

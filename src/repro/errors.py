@@ -24,6 +24,26 @@ class CatalogError(StorageError):
     """Unknown schema/table/column, duplicate definitions, and similar."""
 
 
+class WalError(StorageError):
+    """The write-ahead log could not make a record durable.
+
+    Raised for torn writes (the record's bytes only partially reached
+    the file; the log is poisoned until recovery truncates the tail)
+    and for failed fsyncs (the whole group-commit batch is rolled back
+    and the unsynced tail truncated).  A statement that dies with this
+    error was **never acknowledged** — recovery will not resurrect it.
+    """
+
+
+class CheckpointError(StorageError):
+    """A checkpoint could not be written or validated.
+
+    A failed checkpoint never truncates the WAL, so durability is
+    unaffected — recovery falls back to the previous valid checkpoint
+    plus a longer replay.
+    """
+
+
 class MalError(ReproError):
     """Errors from the MAL layer (parser, interpreter, optimizer)."""
 

@@ -41,6 +41,15 @@ MIXES: Dict[str, str] = {
     "slow-query": "scheduler.worker:stall=1200000000@0.8#12",
     "worker-chaos": ("mpool.worker:crash@0.25#1;mpool.worker:stall=40@0.3;"
                      "mpool.ship:latency=5@0.3;mpool.ship:truncate@0.15#1"),
+    # persist.recover:corrupt-record is deliberately absent: it models
+    # media corruption of already-acknowledged records, which breaks the
+    # acked-prefix byte-identity invariant this mix asserts.  It gets
+    # its own prefix-shaped test in tests/test_durability.py.
+    "durability-chaos": ("persist.wal:torn-write@0.06#1;"
+                         "persist.wal:fsync-loss@0.06#1;"
+                         "persist.wal:latency=1@0.2;"
+                         "persist.checkpoint:partial-manifest@0.3#1;"
+                         "persist.checkpoint:crash-before-rename@0.3#1"),
 }
 
 #: Mixes whose faults touch only the UDP stream; for these the exact
@@ -139,6 +148,8 @@ def run_case(server, seed: int, mix: str, spec: Optional[str] = None,
         return _run_slow_query_case(server, seed, spec, wall_cap_s)
     if mix == "worker-chaos":
         return _run_worker_chaos_case(server, seed, spec, wall_cap_s)
+    if mix == "durability-chaos":
+        return _run_durability_case(seed, spec, wall_cap_s)
     plan = FaultPlan.from_spec(spec, seed=seed)
     sql = "select count(*) from lineitem where l_quantity > 10"
     sent_events = UDP_DATAGRAMS_SENT.labels(kind="event")
@@ -429,6 +440,126 @@ def _run_worker_chaos_case(server, seed: int, spec: str,
     return CaseResult(
         seed=seed, mix="worker-chaos", ok=not violations, wall_s=wall_s,
         outcome=outcome, error=error,
+        fault_fires=len(plan.journal), journal=list(plan.journal),
+        violations=violations,
+    )
+
+
+def _run_durability_case(seed: int, spec: str,
+                         wall_cap_s: float) -> CaseResult:
+    """The ``durability-chaos`` mix: crash-loop a durable server.
+
+    Opens a private WAL-backed database in a scratch directory and runs
+    a seeded DDL+INSERT workload against it through a real Mserver,
+    crash-looping the process state three times (SIGKILL-shaped
+    truncation to the durable watermark, a crash that keeps a torn
+    tail, or a clean close — the seed picks).  A shadow plain catalog
+    applies exactly the statements the client saw acknowledged.  The
+    invariants: every statement either succeeds or raises a typed
+    error; after every recovery the catalog is **byte-identical** to
+    the shadow (no acked row lost, no unacked row half-applied); and a
+    recovery after a torn-write fault reports the torn tail it dropped.
+    """
+    import random
+    import shutil
+    import tempfile
+
+    from repro.server.client import MClient
+    from repro.server.database import Database
+    from repro.server.mserver import Mserver
+    from repro.storage.durable import catalog_canonical_bytes
+
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    rng = random.Random(seed * 7919 + 11)
+    violations: List[str] = []
+    outcome, error = "rows", ""
+    sent = acked = 0
+    cycles = 3
+    wal_dir = tempfile.mkdtemp(prefix=f"chaos-durable-{seed}-")
+    shadow = Database()
+    began = time.monotonic()
+    try:
+        with armed(plan):
+            for cycle in range(cycles):
+                database = Database(wal_dir=wal_dir, commit_window_ms=0.0,
+                                    checkpoint_interval=4)
+                if cycle and database.recovery is not None:
+                    recovered = catalog_canonical_bytes(database.catalog)
+                    expected = catalog_canonical_bytes(shadow.catalog)
+                    if recovered != expected:
+                        violations.append(
+                            f"cycle {cycle}: recovered catalog diverges "
+                            f"from the acknowledged prefix "
+                            f"({database.recovery.describe()})")
+                statements = [
+                    f"create table chaos_d{cycle} "
+                    f"(id integer, tag varchar(16), score double)"
+                ]
+                for _ in range(7):
+                    table = rng.randrange(cycle + 1)
+                    statements.append(
+                        f"insert into chaos_d{table} values "
+                        f"({rng.randrange(1000)}, "
+                        f"'t{rng.randrange(100)}', "
+                        f"{rng.randrange(1000) / 8.0})")
+                with Mserver(database) as server:
+                    client = MClient(port=server.port, timeout=5.0,
+                                     retries=0, deadline_s=wall_cap_s / 2,
+                                     retry_seed=seed)
+                    try:
+                        for sql in statements:
+                            sent += 1
+                            try:
+                                client.query(sql)
+                            except ReproError as exc:
+                                if not error:
+                                    outcome = "typed-error"
+                                    error = repr(exc)
+                            except Exception as exc:
+                                violations.append(
+                                    f"untyped failure from {sql!r}: "
+                                    f"{exc!r}")
+                            else:
+                                acked += 1
+                                shadow.execute(sql)
+                    finally:
+                        client.close()
+                    # crash while the server still owns the database:
+                    # Mserver.stop() closes it cleanly, so the abrupt
+                    # truncation has to land first.  "kill" keeps only
+                    # the durable prefix, "kill-torn" also keeps any
+                    # torn half-record past it, "clean" trusts close().
+                    style = rng.choice(("kill", "kill-torn", "clean"))
+                    if style == "kill":
+                        database.durability.simulate_crash()
+                    elif style == "kill-torn":
+                        database.durability.simulate_crash(
+                            database.durability.wal.written_bytes)
+            # final recovery with faults still armed (the spec has no
+            # persist.recover rules, so recovery itself is clean)
+            database = Database(wal_dir=wal_dir)
+            try:
+                recovered = catalog_canonical_bytes(database.catalog)
+                expected = catalog_canonical_bytes(shadow.catalog)
+                if recovered != expected:
+                    violations.append(
+                        "final recovered catalog diverges from the "
+                        "acknowledged prefix "
+                        f"({database.recovery.describe()})")
+            finally:
+                database.close()
+    finally:
+        shadow.close()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    wall_s = time.monotonic() - began
+    if wall_s >= wall_cap_s:
+        violations.append(f"case ran {wall_s:.1f}s >= cap {wall_cap_s}s")
+    if acked == 0:
+        violations.append("no statement was ever acknowledged")
+    return CaseResult(
+        seed=seed, mix="durability-chaos", ok=not violations, wall_s=wall_s,
+        outcome=outcome, error=error,
+        completeness=acked / sent if sent else 0.0,
         fault_fires=len(plan.journal), journal=list(plan.journal),
         violations=violations,
     )

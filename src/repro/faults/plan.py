@@ -17,6 +17,9 @@ site                   actions
 ``scheduler.worker``   ``stall`` (usec), ``crash``
 ``mpool.worker``       ``crash``, ``stall`` (ms)
 ``mpool.ship``         ``truncate``, ``latency`` (ms)
+``persist.wal``        ``torn-write``, ``fsync-loss``, ``latency`` (ms)
+``persist.checkpoint`` ``partial-manifest``, ``crash-before-rename``
+``persist.recover``    ``corrupt-record``
 =====================  =============================================
 
 Plans are *armed* globally through the module-level :data:`ACTIVE`
@@ -43,6 +46,9 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "scheduler.worker": ("stall", "crash"),
     "mpool.worker": ("crash", "stall"),
     "mpool.ship": ("truncate", "latency"),
+    "persist.wal": ("torn-write", "fsync-loss", "latency"),
+    "persist.checkpoint": ("partial-manifest", "crash-before-rename"),
+    "persist.recover": ("corrupt-record",),
 }
 
 

@@ -232,6 +232,62 @@ MPOOL_FALLBACKS = REGISTRY.counter(
 )
 
 # --------------------------------------------------------------------------
+# repro.storage.durable — WAL, checkpoints and crash recovery
+# --------------------------------------------------------------------------
+
+PERSIST_WAL_APPENDS = REGISTRY.counter(
+    "repro_persist_wal_appends_total",
+    "Records appended to the write-ahead log, by kind (ddl, insert).",
+    labels=("kind",),
+    unit="records",
+)
+
+PERSIST_WAL_BYTES = REGISTRY.counter(
+    "repro_persist_wal_bytes_total",
+    "Bytes written to the write-ahead log (headers plus payloads).",
+    unit="bytes",
+)
+
+PERSIST_GROUP_COMMIT_BATCH = REGISTRY.histogram(
+    "repro_persist_group_commit_batch",
+    "Records made durable per fsync. 1 means per-record fsync; higher "
+    "values mean the commit window batched concurrent writers.",
+    unit="records",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+)
+
+PERSIST_CHECKPOINTS = REGISTRY.counter(
+    "repro_persist_checkpoints_total",
+    "Checkpoint attempts, by outcome (ok, failed). A failed checkpoint "
+    "never truncates the WAL, so durability is unaffected.",
+    labels=("outcome",),
+    unit="checkpoints",
+)
+
+PERSIST_RECOVERIES = REGISTRY.counter(
+    "repro_persist_recoveries_total",
+    "Crash recoveries performed on database open, by outcome (clean: "
+    "no torn tail; torn: a damaged WAL tail was dropped).",
+    labels=("outcome",),
+    unit="recoveries",
+)
+
+PERSIST_RECOVERED_RECORDS = REGISTRY.counter(
+    "repro_persist_recovered_records_total",
+    "WAL records replayed into the catalog during recovery, by kind "
+    "(ddl, insert).",
+    labels=("kind",),
+    unit="records",
+)
+
+PERSIST_TORN_RECORDS_DROPPED = REGISTRY.counter(
+    "repro_persist_torn_records_dropped_total",
+    "Torn or corrupt WAL records recovery stopped at and truncated "
+    "away (never acknowledged, so dropping them loses nothing).",
+    unit="records",
+)
+
+# --------------------------------------------------------------------------
 # repro.profiler.stream — the UDP trace stream
 # --------------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ Stethoscope to pick up.
 
 from __future__ import annotations
 
+import datetime
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -18,7 +19,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from typing import TYPE_CHECKING
 
 from repro.dot.writer import plan_to_dot
-from repro.errors import SqlError
+from repro.errors import (
+    CatalogError, CheckpointError, SqlError, StorageError, TypeMismatchError,
+    WalError,
+)
 from repro.metrics.families import (
     PLAN_CACHE_EVICTIONS, PLAN_CACHE_HITS, PLAN_CACHE_MISSES,
     PLAN_CACHE_SIZE,
@@ -35,7 +39,10 @@ from repro.mal.printer import format_program
 from repro.sqlfe.ast import CreateTable, DropTable, Insert, Literal, Select, UnaryOp
 from repro.sqlfe.compiler import SqlCompiler
 from repro.sqlfe.parser import parse_sql
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, Column, Table, _sql_type_to_mal
+from repro.storage.durable import (
+    CheckpointReport, DurableEngine, RecoveryReport,
+)
 
 
 def normalize_sql(sql: str) -> str:
@@ -190,6 +197,18 @@ class Database:
             results back to whichever scheduler runs the plan.
         parallel_min_rows: plans shipping fewer partition rows than this
             stay in-process (pool overhead floor); 0 forces the pool.
+        wal_dir: directory for the write-ahead log and checkpoints.
+            When given, opening the database *recovers* whatever the
+            directory holds (newest valid checkpoint + WAL replay; see
+            :attr:`recovery`), and every DDL/INSERT is write-ahead
+            logged and fsynced before it is acknowledged.  None (the
+            default) keeps the catalog purely in-memory, as before.
+        commit_window_ms: group-commit window — how long the first
+            committer waits for concurrent writers to share its fsync.
+            0 degenerates to one fsync per statement.
+        checkpoint_interval: write a checkpoint (and truncate the WAL)
+            every this many logged statements; 0 disables automatic
+            checkpoints (:meth:`checkpoint` still works).
     """
 
     def __init__(self, catalog: Optional[Catalog] = None, workers: int = 4,
@@ -198,7 +217,34 @@ class Database:
                  mitosis_threshold: int = 1000,
                  plan_cache_size: int = 64,
                  parallel_workers: int = 0,
-                 parallel_min_rows: int = DEFAULT_MIN_ROWS) -> None:
+                 parallel_min_rows: int = DEFAULT_MIN_ROWS,
+                 wal_dir: Optional[str] = None,
+                 commit_window_ms: float = 2.0,
+                 checkpoint_interval: int = 0) -> None:
+        #: the durable engine (WAL + checkpoints), or None when opened
+        #: without a ``wal_dir``.
+        self.durability: Optional[DurableEngine] = None
+        #: what opening the ``wal_dir`` recovered, or None.
+        self.recovery: Optional[RecoveryReport] = None
+        if wal_dir:
+            self.durability = DurableEngine(
+                wal_dir, commit_window_ms=commit_window_ms,
+                checkpoint_interval=checkpoint_interval)
+            self.recovery = self.durability.report
+            if self.recovery.recovered_anything:
+                if catalog is not None:
+                    self.durability.close()
+                    raise StorageError(
+                        f"wal directory {wal_dir!r} already holds a "
+                        f"database; open it with catalog=None to "
+                        f"recover it")
+                catalog = self.durability.catalog
+            elif catalog is not None:
+                # seed catalog (e.g. the data generator's): make the
+                # baseline durable before the first statement runs
+                self.durability.adopt(catalog)
+            else:
+                catalog = self.durability.catalog
         self.catalog = catalog or Catalog()
         self.workers = workers
         self.pipeline_name = pipeline_name
@@ -221,9 +267,41 @@ class Database:
                 min_rows=parallel_min_rows).start()
 
     def close(self) -> None:
-        """Release owned resources (the worker pool); idempotent."""
+        """Release owned resources (worker pool, WAL); idempotent.
+
+        Closing the WAL fsyncs it, so a *graceful* shutdown preserves
+        every applied statement even if none were checkpointed."""
         if self.pool is not None:
             self.pool.close()
+        if self.durability is not None:
+            self.durability.close()
+
+    def checkpoint(self) -> CheckpointReport:
+        """Force a checkpoint now (durable databases only).
+
+        Raises:
+            StorageError: the database was opened without a ``wal_dir``.
+            CheckpointError: the checkpoint could not be written (the
+                WAL is left intact, so nothing is lost).
+        """
+        if self.durability is None:
+            raise StorageError(
+                "checkpoint requires a database opened with a wal_dir")
+        return self.durability.checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Post-statement periodic checkpoint hook.
+
+        A failed checkpoint (injected fault or real I/O error) never
+        fails the statement — it was already fsynced to the WAL, and an
+        unharvested WAL only means a longer replay on the next open.
+        """
+        if self.durability is None:
+            return
+        try:
+            self.durability.maybe_checkpoint()
+        except (CheckpointError, WalError):
+            pass
 
     # ------------------------------------------------------------------
 
@@ -351,17 +429,19 @@ class Database:
         if program is None:
             statement = parse_sql(sql)
             if isinstance(statement, CreateTable):
-                self.catalog.create_table_from_sql_types(
-                    statement.table, statement.columns
-                )
+                self._execute_create(statement)
                 self._invalidate_plans()
+                self._maybe_checkpoint()
                 return QueryOutcome(kind="ddl")
             if isinstance(statement, DropTable):
-                self.catalog.schema().drop_table(statement.table)
+                self._execute_drop(statement)
                 self._invalidate_plans()
+                self._maybe_checkpoint()
                 return QueryOutcome(kind="ddl")
             if isinstance(statement, Insert):
-                return self._execute_insert(statement)
+                outcome = self._execute_insert(statement)
+                self._maybe_checkpoint()
+                return outcome
             if not isinstance(statement, Select):
                 raise SqlError(
                     f"unsupported statement {type(statement).__name__}")
@@ -429,20 +509,153 @@ class Database:
         outcome.execution = inner.execution
         return outcome
 
+    # ------------------------------------------------------------------
+    # the write path (DDL / INSERT): validate, then apply — through the
+    # WAL when the database is durable
+    # ------------------------------------------------------------------
+
+    def _execute_create(self, statement: CreateTable) -> None:
+        schema = self.catalog.schema()
+        if self.durability is None:
+            self.catalog.create_table_from_sql_types(
+                statement.table, statement.columns)
+            return
+        # Validate fully before logging: the WAL record must be
+        # replayable, so apply() is not allowed to fail.
+        resolved = [(name, _sql_type_to_mal(type_name))
+                    for name, type_name in statement.columns]
+        key = statement.table.lower()
+        if key in schema.tables:
+            raise CatalogError(
+                f"table {statement.table!r} already exists in "
+                f"{schema.name!r}")
+        table = Table(statement.table, resolved)
+        data = {"op": "create", "schema": schema.name,
+                "table": statement.table,
+                "columns": [[name, mal_type.name]
+                            for name, mal_type in resolved]}
+
+        def apply() -> None:
+            schema.tables[key] = table
+
+        def undo() -> None:
+            schema.tables.pop(key, None)
+
+        self.durability.log("ddl", data, apply, undo)
+
+    def _execute_drop(self, statement: DropTable) -> None:
+        schema = self.catalog.schema()
+        if self.durability is None:
+            schema.drop_table(statement.table)
+            return
+        key = statement.table.lower()
+        table = schema.tables.get(key)
+        if table is None:
+            raise CatalogError(
+                f"no table {statement.table!r} in {schema.name!r}")
+        data = {"op": "drop", "schema": schema.name,
+                "table": statement.table}
+
+        def apply() -> None:
+            del schema.tables[key]
+
+        def undo() -> None:
+            schema.tables[key] = table
+
+        self.durability.log("ddl", data, apply, undo)
+
     def _execute_insert(self, statement: Insert) -> QueryOutcome:
         table = self.catalog.table(statement.table)
+        columns = list(table.columns.values())
         rows: List[List[Any]] = []
         for row_exprs in statement.rows:
-            row: List[Any] = []
-            for expr in row_exprs:
-                if isinstance(expr, Literal):
-                    row.append(expr.value)
-                elif isinstance(expr, UnaryOp) and expr.op == "-" and \
-                        isinstance(expr.operand, Literal):
-                    row.append(-expr.operand.value)
-                else:
-                    raise SqlError("INSERT supports literal values only")
-            rows.append(row)
-        inserted = table.insert_many(rows)
+            if len(row_exprs) != len(columns):
+                raise SqlError(
+                    f"INSERT row has {len(row_exprs)} value(s); table "
+                    f"{statement.table!r} has {len(columns)} column(s)")
+            rows.append([
+                self._bind_insert_value(expr, column)
+                for expr, column in zip(row_exprs, columns)
+            ])
+        if self.durability is None:
+            inserted = table.insert_many(rows)
+            self._invalidate_plans()
+            return QueryOutcome(kind="insert", affected=inserted)
+        data = {"schema": self.catalog.schema().name, "table": table.name,
+                "rows": rows}
+        snapshots = [column.bat.count() for column in columns]
+
+        def apply() -> int:
+            return table.insert_many(rows)
+
+        def undo() -> None:
+            # truncate-to-length: idempotent and safe under any
+            # interleaving of same-batch rollbacks
+            for column, length in zip(columns, snapshots):
+                del column.bat.tail[length:]
+                column.bat._invalidate_caches()
+
+        inserted = self.durability.log("insert", data, apply, undo)
         self._invalidate_plans()
         return QueryOutcome(kind="insert", affected=inserted)
+
+    def _bind_insert_value(self, expr: Any, column: Column) -> Any:
+        """Evaluate one INSERT literal and type-check it at bind time.
+
+        A literal whose type cannot losslessly land in the column's atom
+        type is rejected with a typed :class:`SqlError` *before* any
+        column is touched (and, for durable databases, before the row is
+        write-ahead logged) — previously a mistyped literal could land
+        in a BAT and only fail later inside a kernel.
+        """
+        if isinstance(expr, Literal):
+            value = expr.value
+        elif isinstance(expr, UnaryOp) and expr.op == "-" and \
+                isinstance(expr.operand, Literal):
+            operand = expr.operand.value
+            if isinstance(operand, bool) or \
+                    not isinstance(operand, (int, float)):
+                raise SqlError(
+                    f"cannot negate non-numeric literal {operand!r}")
+            value = -operand
+        else:
+            raise SqlError("INSERT supports literal values only")
+        if value is None:
+            return None
+        type_name = column.mal_type.name
+        target = f"column {column.name!r} ({type_name})"
+        if isinstance(value, bool):
+            if type_name != "bit":
+                raise SqlError(
+                    f"cannot insert boolean {value!r} into {target}")
+            return value
+        if isinstance(value, int):
+            if type_name not in ("int", "lng", "oid", "flt", "dbl"):
+                raise SqlError(
+                    f"cannot insert integer {value!r} into {target}")
+        elif isinstance(value, float):
+            if type_name not in ("flt", "dbl"):
+                raise SqlError(
+                    f"cannot insert float {value!r} into {target}")
+        elif isinstance(value, datetime.date):
+            if type_name != "date":
+                raise SqlError(
+                    f"cannot insert date {value!r} into {target}")
+        elif isinstance(value, str):
+            if type_name == "date":
+                try:
+                    return datetime.date.fromisoformat(value.strip())
+                except ValueError:
+                    raise SqlError(
+                        f"bad date literal {value!r} for {target}: "
+                        f"expected YYYY-MM-DD") from None
+            if type_name != "str":
+                raise SqlError(
+                    f"cannot insert string {value!r} into {target}")
+        else:
+            raise SqlError(
+                f"unsupported literal {value!r} for {target}")
+        try:
+            return column.mal_type.caster(value)
+        except TypeMismatchError as exc:
+            raise SqlError(str(exc)) from None

@@ -25,6 +25,14 @@ from repro.storage.types import (
 )
 from repro.storage.bat import BAT
 from repro.storage.catalog import Catalog, Column, Schema, Table
+from repro.storage.durable import (
+    CheckpointReport,
+    DurableEngine,
+    RecoveryReport,
+    WriteAheadLog,
+    catalog_canonical_bytes,
+    recover,
+)
 
 __all__ = [
     "BAT",
@@ -37,11 +45,17 @@ __all__ = [
     "OID",
     "STR",
     "Catalog",
+    "CheckpointReport",
     "Column",
+    "DurableEngine",
     "MalType",
+    "RecoveryReport",
     "Schema",
     "Table",
+    "WriteAheadLog",
     "cast_value",
+    "catalog_canonical_bytes",
+    "recover",
     "infer_type",
     "nil",
     "parse_value",

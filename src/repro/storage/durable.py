@@ -1,0 +1,902 @@
+"""Durable storage: write-ahead log, columnar checkpoints, recovery.
+
+MonetDB's BATs survive restarts in a ``dbfarm``; this module gives the
+reproduction the same property with the classic recipe:
+
+* an append-only **write-ahead log** (``wal.log``) of length-prefixed,
+  CRC32-checksummed records — one per DDL statement or INSERT batch —
+  made durable by *group commit*: concurrent writers that land inside
+  one commit window share a single ``fsync``;
+* binary **columnar checkpoints**: one file per BAT (reusing the
+  memoized :meth:`~repro.storage.bat.BAT.to_ship_bytes` payload), plus a
+  JSON manifest with per-file checksums, written to a temp directory and
+  atomically renamed into place — a successful checkpoint truncates the
+  WAL;
+* **recovery** on open: load the newest checkpoint that validates
+  (falling back past damaged ones), replay the WAL tail record by
+  record, and stop cleanly at the first torn or corrupt record.
+
+The correctness contract, verified end to end by the ``durability-chaos``
+mix and ``tests/test_durability.py``:
+
+* a statement is **acknowledged only after its WAL record is fsynced**
+  — recovery never loses an acknowledged row;
+* a statement that fails with :class:`~repro.errors.WalError` was rolled
+  back in memory and **will not** be resurrected by recovery;
+* torn WAL tails (crash mid-write) are detected by the CRC and length
+  prefix and dropped — they were never acknowledged, so dropping them
+  loses nothing.
+
+Fault sites (driven by the seeded :class:`~repro.faults.plan.FaultPlan`):
+``persist.wal`` (``torn-write``, ``fsync-loss``, ``latency``),
+``persist.checkpoint`` (``partial-manifest``, ``crash-before-rename``)
+and ``persist.recover`` (``corrupt-record``).  See ``docs/durability.md``
+for the on-disk formats and the recovery algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import shutil
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError, StorageError, WalError
+from repro.faults.plan import ACTIVE
+from repro.metrics.families import (
+    PERSIST_CHECKPOINTS, PERSIST_GROUP_COMMIT_BATCH, PERSIST_RECOVERED_RECORDS,
+    PERSIST_RECOVERIES, PERSIST_TORN_RECORDS_DROPPED, PERSIST_WAL_APPENDS,
+    PERSIST_WAL_BYTES,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.types import type_by_name
+
+#: WAL record header: ``<QII`` = lsn (8 bytes), payload length (4),
+#: CRC32 of the payload (4).  The payload is a pickled ``(kind, data)``.
+_HEADER = struct.Struct("<QII")
+
+#: On-disk names inside a WAL directory.
+WAL_FILENAME = "wal.log"
+MANIFEST_FILENAME = "manifest.json"
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})$")
+
+#: Checkpoint manifest format version.
+CHECKPOINT_FORMAT = 1
+
+#: Checkpoint directories kept after a successful checkpoint (the new
+#: one plus this many predecessors as fallback targets).
+KEEP_CHECKPOINTS = 2
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so a rename inside it survives a crash."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def encode_record(lsn: int, kind: str, data: Any) -> bytes:
+    """Serialize one WAL record (header + pickled payload)."""
+    payload = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(lsn, len(payload), zlib.crc32(payload)) + payload
+
+
+# --------------------------------------------------------------------------
+# the write-ahead log
+# --------------------------------------------------------------------------
+
+class WriteAheadLog:
+    """An append-only, CRC-checked log with leader-based group commit.
+
+    :meth:`append` writes a record's bytes (serialized under a lock, so
+    records never interleave) and returns its LSN; :meth:`commit` blocks
+    until that LSN is fsynced.  The first committer becomes the *leader*:
+    it sleeps for the commit window (letting concurrent appends pile up),
+    issues one ``fsync`` for the whole batch, and wakes every waiter.
+    A window of 0 degenerates to per-record fsync.
+
+    LSNs are assigned once and **never reused** — a record rolled back by
+    a failed fsync leaves a gap, which recovery tolerates (it requires
+    strictly increasing LSNs, not contiguous ones).  Failure semantics:
+
+    * ``torn-write`` fault: a prefix of the record's bytes is written and
+      the log is *poisoned* — every later append fails until recovery
+      truncates the damaged tail;
+    * a failed fsync (``fsync-loss`` fault or a real ``OSError``) rolls
+      the file back to the durable watermark and fails every waiter in
+      the batch with :class:`WalError`.
+    """
+
+    def __init__(self, path: str, commit_window_ms: float = 2.0,
+                 last_lsn: int = 0) -> None:
+        self.path = path
+        self.commit_window = max(float(commit_window_ms), 0.0) / 1000.0
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        size = os.fstat(self._fd).st_size
+        self._written_bytes = size
+        self._durable_bytes = size
+        self._next_lsn = int(last_lsn) + 1
+        self._written_lsn = int(last_lsn)
+        self._durable_lsn = int(last_lsn)
+        self._cond = threading.Condition()
+        self._syncing = False
+        self._poisoned = False
+        self._closed = False
+        self._fail_next_sync = False
+        self._unsynced: List[int] = []   # appended, not yet fsynced
+        self._failed: set = set()        # rolled back by a failed fsync
+        #: lsns whose in-memory effect is still being undone after a
+        #: failed fsync; appends (and checkpoints) block on this so a
+        #: later statement can never apply on top of half-rolled-back
+        #: state (its undo-by-truncation would destroy the newcomer).
+        self._pending_rollbacks: set = set()
+        # plain counters for stats()/benchmarks (GIL-atomic increments)
+        self.appends = 0
+        self.fsyncs = 0
+        self.synced_records = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def durable_lsn(self) -> int:
+        return self._durable_lsn
+
+    @property
+    def written_lsn(self) -> int:
+        return self._written_lsn
+
+    @property
+    def durable_bytes(self) -> int:
+        return self._durable_bytes
+
+    @property
+    def written_bytes(self) -> int:
+        return self._written_bytes
+
+    @property
+    def poisoned(self) -> bool:
+        return self._poisoned
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "appends": self.appends,
+                "fsyncs": self.fsyncs,
+                "synced_records": self.synced_records,
+                "written_bytes": self._written_bytes,
+                "durable_bytes": self._durable_bytes,
+                "written_lsn": self._written_lsn,
+                "durable_lsn": self._durable_lsn,
+            }
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, kind: str, data: Any) -> int:
+        """Write one record; returns its LSN (durable only after
+        :meth:`commit`).  Raises :class:`WalError` if the log is
+        poisoned or a ``persist.wal:torn-write`` fault fires."""
+        payload = pickle.dumps((kind, data),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        with self._cond:
+            while self._pending_rollbacks and not self._closed:
+                self._cond.wait()
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            if self._poisoned:
+                raise WalError(
+                    "write-ahead log poisoned by a torn write; "
+                    "reopen (recover) to continue")
+            plan = ACTIVE.plan
+            if plan is not None:
+                decision = plan.decide("persist.wal", detail=kind)
+                if decision is not None:
+                    if decision.action == "latency":
+                        time.sleep((decision.value or 1.0) / 1000.0)
+                    elif decision.action == "fsync-loss":
+                        self._fail_next_sync = True
+                    elif decision.action == "torn-write":
+                        lsn = self._next_lsn
+                        self._next_lsn += 1
+                        record = _HEADER.pack(
+                            lsn, len(payload), zlib.crc32(payload)) + payload
+                        torn = record[:max(1, len(record) // 2)]
+                        os.pwrite(self._fd, torn, self._written_bytes)
+                        self._written_bytes += len(torn)
+                        self._poisoned = True
+                        raise WalError(
+                            f"torn write at lsn {lsn}: only "
+                            f"{len(torn)}/{len(record)} bytes reached "
+                            f"the log")
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            record = _HEADER.pack(lsn, len(payload),
+                                  zlib.crc32(payload)) + payload
+            os.pwrite(self._fd, record, self._written_bytes)
+            self._written_bytes += len(record)
+            self._written_lsn = lsn
+            self._unsynced.append(lsn)
+            self.appends += 1
+            PERSIST_WAL_APPENDS.labels(kind=kind).inc()
+            PERSIST_WAL_BYTES.inc(len(record))
+            return lsn
+
+    def commit(self, lsn: int) -> None:
+        """Block until ``lsn`` is durable (group commit).
+
+        Raises:
+            WalError: the batch's fsync failed; the record's bytes were
+                truncated away and the caller must roll back its
+                in-memory effect.
+        """
+        with self._cond:
+            while True:
+                if lsn in self._failed:
+                    self._failed.discard(lsn)
+                    raise WalError(
+                        f"fsync failed for the batch containing lsn "
+                        f"{lsn}; record rolled back")
+                if lsn <= self._durable_lsn:
+                    return
+                if self._closed:
+                    raise WalError("write-ahead log is closed")
+                if not self._syncing:
+                    self._syncing = True
+                    break
+                self._cond.wait()
+        # leader: wait out the commit window so concurrent appends batch
+        if self.commit_window:
+            time.sleep(self.commit_window)
+        with self._cond:
+            target_bytes = self._written_bytes
+            batch = list(self._unsynced)
+            fail = self._fail_next_sync
+            self._fail_next_sync = False
+        try:
+            if fail:
+                raise OSError(5, "injected fsync loss")
+            os.fsync(self._fd)
+        except OSError as exc:
+            with self._cond:
+                os.ftruncate(self._fd, self._durable_bytes)
+                self._written_bytes = self._durable_bytes
+                self._written_lsn = self._durable_lsn
+                self._failed.update(self._unsynced)
+                self._pending_rollbacks.update(self._unsynced)
+                self._unsynced.clear()
+                self._failed.discard(lsn)
+                self._syncing = False
+                self._cond.notify_all()
+            raise WalError(f"wal fsync failed: {exc}") from None
+        with self._cond:
+            self._durable_bytes = target_bytes
+            if batch:
+                self._durable_lsn = batch[-1]
+                self.synced_records += len(batch)
+                PERSIST_GROUP_COMMIT_BATCH.observe(float(len(batch)))
+            self.fsyncs += 1
+            # appends that raced the fsync stay queued for the next one
+            del self._unsynced[:len(batch)]
+            self._syncing = False
+            self._cond.notify_all()
+
+    def acknowledge_rollback(self, lsn: int) -> None:
+        """Report that ``lsn``'s in-memory effect has been undone;
+        appends resume once every failed statement has reported."""
+        with self._cond:
+            self._pending_rollbacks.discard(lsn)
+            if not self._pending_rollbacks:
+                self._cond.notify_all()
+
+    def wait_rollbacks(self) -> None:
+        """Block until no failed statement is still undoing itself."""
+        with self._cond:
+            while self._pending_rollbacks:
+                self._cond.wait()
+
+    def sync_all(self) -> None:
+        """Make every written record durable (checkpoint prologue)."""
+        with self._cond:
+            while self._syncing:
+                self._cond.wait()
+            if not self._unsynced:
+                return
+            target = self._unsynced[-1]
+        self.commit(target)
+
+    # -- maintenance ----------------------------------------------------
+
+    def truncate(self) -> None:
+        """Drop every record (post-checkpoint).  LSNs keep counting from
+        where they were, so later records still sort after the
+        checkpoint; a poisoned tail is cleared along with the rest."""
+        with self._cond:
+            os.ftruncate(self._fd, 0)
+            os.fsync(self._fd)
+            self._written_bytes = 0
+            self._durable_bytes = 0
+            self._written_lsn = self._durable_lsn
+            self._unsynced.clear()
+            self._poisoned = False
+
+    def simulate_crash(self, keep_bytes: Optional[int] = None) -> int:
+        """Test hook: die abruptly, keeping an arbitrary prefix.
+
+        Closes the log and truncates the file to ``keep_bytes``, clamped
+        to ``[durable_bytes, written_bytes]`` — the range of states the
+        OS page cache could have left behind had the process been
+        SIGKILLed.  Returns the byte count actually kept.
+        """
+        with self._cond:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            low, high = self._durable_bytes, self._written_bytes
+            keep = high if keep_bytes is None else max(low, min(high,
+                                                                keep_bytes))
+            os.ftruncate(self._fd, keep)
+            os.fsync(self._fd)
+            os.close(self._fd)
+            self._closed = True
+            self._cond.notify_all()
+            return keep
+
+    def close(self) -> None:
+        """Flush and close; idempotent.  A clean close fsyncs, so every
+        written (non-torn) record survives a graceful shutdown."""
+        with self._cond:
+            if self._closed:
+                return
+            try:
+                if not self._poisoned:
+                    try:
+                        os.fsync(self._fd)
+                        self._durable_bytes = self._written_bytes
+                        self._durable_lsn = self._written_lsn
+                        self._unsynced.clear()
+                    except OSError:
+                        pass
+            finally:
+                os.close(self._fd)
+                self._closed = True
+                self._cond.notify_all()
+
+
+# --------------------------------------------------------------------------
+# WAL scanning (recovery's read side)
+# --------------------------------------------------------------------------
+
+@dataclass
+class WalScan:
+    """What a WAL file held: the valid record prefix and damage info."""
+
+    records: List[Tuple[int, str, Any]] = field(default_factory=list)
+    valid_bytes: int = 0
+    total_bytes: int = 0
+    last_lsn: int = 0
+    torn: bool = False
+
+
+def scan_wal(path: str) -> WalScan:
+    """Parse a WAL file up to the first torn/corrupt record.
+
+    A record is rejected (and the scan stops — everything after it is
+    unreachable because record boundaries are length-chained) when its
+    header is short, its payload runs past EOF, its CRC mismatches, its
+    payload fails to decode, its LSN is not strictly increasing, or a
+    ``persist.recover:corrupt-record`` fault fires for it.
+    """
+    scan = WalScan()
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return scan
+    scan.total_bytes = len(blob)
+    offset = 0
+    plan = ACTIVE.plan
+    while offset + _HEADER.size <= len(blob):
+        lsn, length, crc = _HEADER.unpack_from(blob, offset)
+        end = offset + _HEADER.size + length
+        if lsn <= scan.last_lsn or end > len(blob):
+            scan.torn = True
+            break
+        payload = blob[offset + _HEADER.size:end]
+        if zlib.crc32(payload) != crc:
+            scan.torn = True
+            break
+        try:
+            kind, data = pickle.loads(payload)
+        except Exception:
+            scan.torn = True
+            break
+        if plan is not None:
+            decision = plan.decide("persist.recover", detail=str(lsn))
+            if decision is not None and decision.action == "corrupt-record":
+                scan.torn = True
+                break
+        scan.records.append((lsn, kind, data))
+        scan.last_lsn = lsn
+        scan.valid_bytes = end
+        offset = end
+    else:
+        # a trailing partial header is a torn tail too
+        if offset < len(blob):
+            scan.torn = True
+    return scan
+
+
+# --------------------------------------------------------------------------
+# checkpoints
+# --------------------------------------------------------------------------
+
+@dataclass
+class CheckpointReport:
+    """What one checkpoint wrote."""
+
+    path: str
+    lsn: int
+    files: int
+    rows: int
+    bytes: int
+
+
+def list_checkpoints(directory: str) -> List[Tuple[int, str]]:
+    """(lsn, path) of every completed checkpoint, oldest first."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = _CHECKPOINT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)),
+                          os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def write_checkpoint(catalog: Catalog, directory: str,
+                     lsn: int) -> CheckpointReport:
+    """Write a checkpoint of ``catalog`` as of WAL position ``lsn``.
+
+    One ``.col`` file per column (the BAT's memoized ship payload), then
+    a manifest with per-file CRCs; everything goes to a ``.tmp``
+    directory, is fsynced, and the directory is renamed into place.
+    Injected faults: ``partial-manifest`` truncates the manifest *and
+    still renames* (recovery must detect and fall back);
+    ``crash-before-rename`` abandons the temp directory.
+    """
+    name = f"checkpoint-{lsn:012d}"
+    final = os.path.join(directory, name)
+    tmp = final + ".tmp"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    if os.path.exists(final):
+        shutil.rmtree(final)
+    os.makedirs(tmp)
+    plan = ACTIVE.plan
+    decision = (plan.decide("persist.checkpoint", detail=name)
+                if plan is not None else None)
+    manifest: Dict[str, Any] = {"format": CHECKPOINT_FORMAT, "lsn": lsn,
+                                "schemas": []}
+    index = 0
+    total_rows = 0
+    total_bytes = 0
+    for schema_name in sorted(catalog.schemas):
+        schema = catalog.schemas[schema_name]
+        schema_doc: Dict[str, Any] = {"name": schema.name, "tables": []}
+        for table_name in sorted(schema.tables):
+            table = schema.tables[table_name]
+            table_doc: Dict[str, Any] = {"name": table.name, "columns": []}
+            for column in table.columns.values():
+                payload = column.bat.to_ship_bytes()
+                file_name = f"c{index:05d}.col"
+                index += 1
+                with open(os.path.join(tmp, file_name), "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                table_doc["columns"].append({
+                    "name": column.name,
+                    "type": column.mal_type.name,
+                    "file": file_name,
+                    "rows": column.bat.count(),
+                    "crc32": zlib.crc32(payload),
+                })
+                total_bytes += len(payload)
+            total_rows += table.row_count()
+            schema_doc["tables"].append(table_doc)
+        manifest["schemas"].append(schema_doc)
+    text = json.dumps(manifest)
+    if decision is not None and decision.action == "partial-manifest":
+        text = text[:max(1, len(text) // 2)]
+    with open(os.path.join(tmp, MANIFEST_FILENAME), "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if decision is not None and decision.action == "crash-before-rename":
+        raise CheckpointError(
+            f"injected crash before renaming {tmp} into place")
+    os.rename(tmp, final)
+    _fsync_dir(directory)
+    if decision is not None and decision.action == "partial-manifest":
+        raise CheckpointError(
+            f"checkpoint {name} renamed with a torn manifest")
+    return CheckpointReport(path=final, lsn=lsn, files=index,
+                            rows=total_rows, bytes=total_bytes)
+
+
+def load_checkpoint(path: str) -> Tuple[Catalog, int, int]:
+    """Rebuild a catalog from a checkpoint directory.
+
+    Returns ``(catalog, lsn, rows)``.  Raises :class:`CheckpointError`
+    on any damage: unreadable/truncated manifest, wrong format version,
+    missing column file, CRC mismatch, or a row-count mismatch.
+    """
+    manifest_path = os.path.join(path, MANIFEST_FILENAME)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint manifest {manifest_path}: "
+            f"{exc}") from None
+    if not isinstance(manifest, dict) or \
+            manifest.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unsupported checkpoint format in {manifest_path}: "
+            f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r}")
+    from repro.storage.bat import BAT
+
+    catalog = Catalog()
+    total_rows = 0
+    try:
+        lsn = int(manifest["lsn"])
+        for schema_doc in manifest["schemas"]:
+            name = schema_doc["name"]
+            if name.lower() in catalog.schemas:
+                schema = catalog.schema(name)
+            else:
+                schema = catalog.create_schema(name)
+            for table_doc in schema_doc["tables"]:
+                spec = [(c["name"], type_by_name(c["type"]))
+                        for c in table_doc["columns"]]
+                table = schema.create_table(table_doc["name"], spec)
+                for column_doc, column in zip(table_doc["columns"],
+                                              table.columns.values()):
+                    file_path = os.path.join(path, column_doc["file"])
+                    try:
+                        with open(file_path, "rb") as handle:
+                            payload = handle.read()
+                    except OSError as exc:
+                        raise CheckpointError(
+                            f"missing checkpoint column file "
+                            f"{file_path}: {exc}") from None
+                    if zlib.crc32(payload) != column_doc["crc32"]:
+                        raise CheckpointError(
+                            f"checksum mismatch in {file_path}")
+                    bat = BAT.from_ship_bytes(payload)
+                    if bat.count() != column_doc["rows"] or \
+                            bat.tail_type.name != column_doc["type"]:
+                        raise CheckpointError(
+                            f"column file {file_path} does not match "
+                            f"its manifest entry")
+                    column.bat = bat
+                total_rows += table.row_count()
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, StorageError) as exc:
+        raise CheckpointError(
+            f"malformed checkpoint manifest {manifest_path}: "
+            f"{exc}") from None
+    return catalog, lsn, total_rows
+
+
+def prune_checkpoints(directory: str, keep: int = KEEP_CHECKPOINTS) -> int:
+    """Delete all but the newest ``keep`` checkpoints (plus any stale
+    ``.tmp`` directories); returns how many were removed."""
+    removed = 0
+    checkpoints = list_checkpoints(directory)
+    for _, path in checkpoints[:-keep] if keep else checkpoints:
+        shutil.rmtree(path, ignore_errors=True)
+        removed += 1
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return removed
+    for name in names:
+        if name.endswith(".tmp") and \
+                _CHECKPOINT_RE.match(name[:-len(".tmp")]):
+            shutil.rmtree(os.path.join(directory, name),
+                          ignore_errors=True)
+            removed += 1
+    return removed
+
+
+# --------------------------------------------------------------------------
+# replay and recovery
+# --------------------------------------------------------------------------
+
+def apply_record(catalog: Catalog, kind: str, data: Any) -> int:
+    """Apply one WAL record to ``catalog``; returns rows inserted.
+
+    Records are validated *before* they are logged (see
+    ``Database._execute_insert`` and friends), so replaying a valid WAL
+    against the checkpoint it extends cannot fail.
+    """
+    if kind == "ddl":
+        op = data["op"]
+        schema = catalog.schema(data.get("schema"))
+        if op == "create":
+            schema.create_table(
+                data["table"],
+                [(name, type_by_name(type_name))
+                 for name, type_name in data["columns"]])
+        elif op == "drop":
+            schema.drop_table(data["table"])
+        else:
+            raise StorageError(f"unknown DDL op {op!r} in WAL record")
+        catalog.invalidate()
+        return 0
+    if kind == "insert":
+        table = catalog.table(data["table"], data.get("schema"))
+        return table.insert_many(data["rows"])
+    raise StorageError(f"unknown WAL record kind {kind!r}")
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and rebuilt."""
+
+    wal_dir: str
+    checkpoint_path: Optional[str] = None
+    checkpoint_lsn: int = 0
+    checkpoint_rows: int = 0
+    invalid_checkpoints: int = 0
+    replayed_records: int = 0
+    replayed_rows: int = 0
+    torn_bytes_dropped: int = 0
+    torn: bool = False
+    last_lsn: int = 0
+
+    @property
+    def outcome(self) -> str:
+        return "torn" if self.torn else "clean"
+
+    @property
+    def recovered_anything(self) -> bool:
+        """True when the directory held prior state (checkpoint, WAL
+        records, or damage evidence) — as opposed to a fresh database."""
+        return (self.checkpoint_path is not None
+                or self.invalid_checkpoints > 0
+                or self.replayed_records > 0 or self.torn)
+
+    def describe(self) -> str:
+        lines = [f"recovery of {self.wal_dir}: {self.outcome}"]
+        if self.checkpoint_path is not None:
+            lines.append(
+                f"  checkpoint {os.path.basename(self.checkpoint_path)}"
+                f" (lsn {self.checkpoint_lsn}, "
+                f"{self.checkpoint_rows} rows)")
+        else:
+            lines.append("  no checkpoint (fresh or WAL-only state)")
+        if self.invalid_checkpoints:
+            lines.append(
+                f"  skipped {self.invalid_checkpoints} damaged "
+                f"checkpoint(s)")
+        lines.append(
+            f"  replayed {self.replayed_records} WAL record(s), "
+            f"{self.replayed_rows} row(s), up to lsn {self.last_lsn}")
+        if self.torn:
+            lines.append(
+                f"  dropped a torn/corrupt WAL tail "
+                f"({self.torn_bytes_dropped} byte(s); never "
+                f"acknowledged)")
+        return "\n".join(lines)
+
+
+def recover(wal_dir: str) -> Tuple[Catalog, RecoveryReport]:
+    """Rebuild the catalog a WAL directory describes.
+
+    Loads the newest checkpoint that validates (skipping damaged ones),
+    replays every WAL record with an LSN past the checkpoint, stops at
+    the first torn/corrupt record, and truncates the WAL file to its
+    valid prefix so subsequent appends continue cleanly.
+    """
+    os.makedirs(wal_dir, exist_ok=True)
+    report = RecoveryReport(wal_dir=wal_dir)
+    catalog: Optional[Catalog] = None
+    for lsn, path in reversed(list_checkpoints(wal_dir)):
+        try:
+            catalog, ckpt_lsn, rows = load_checkpoint(path)
+        except CheckpointError:
+            report.invalid_checkpoints += 1
+            continue
+        report.checkpoint_path = path
+        report.checkpoint_lsn = ckpt_lsn
+        report.checkpoint_rows = rows
+        break
+    if catalog is None:
+        # No valid checkpoint means the WAL was never truncated (only a
+        # *successful* checkpoint truncates it), so replaying it from an
+        # empty catalog reproduces the full history.
+        catalog = Catalog()
+    wal_path = os.path.join(wal_dir, WAL_FILENAME)
+    scan = scan_wal(wal_path)
+    for lsn, kind, data in scan.records:
+        if lsn <= report.checkpoint_lsn:
+            continue
+        report.replayed_rows += apply_record(catalog, kind, data)
+        report.replayed_records += 1
+        PERSIST_RECOVERED_RECORDS.labels(kind=kind).inc()
+    report.last_lsn = max(report.checkpoint_lsn, scan.last_lsn)
+    report.torn = scan.torn
+    if scan.torn:
+        report.torn_bytes_dropped = scan.total_bytes - scan.valid_bytes
+        PERSIST_TORN_RECORDS_DROPPED.inc()
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(scan.valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+    catalog.invalidate()
+    PERSIST_RECOVERIES.labels(outcome=report.outcome).inc()
+    return catalog, report
+
+
+# --------------------------------------------------------------------------
+# the engine: WAL + checkpoints behind one write pipeline
+# --------------------------------------------------------------------------
+
+class DurableEngine:
+    """Ties a catalog to its WAL directory.
+
+    Opening the engine *is* recovery: the constructor rebuilds the
+    catalog from the newest valid checkpoint plus the WAL tail (see
+    :attr:`report`) and reopens the log where it left off.
+
+    The write pipeline (:meth:`log`) is the durability contract's
+    enforcement point::
+
+        with order_lock:  lsn = wal.append(record); apply()
+        wal.commit(lsn)            # group-commit fsync, outside the lock
+        on WalError:  undo(); wal.acknowledge_rollback(lsn); re-raise
+
+    Appending and applying under one lock keeps the WAL's record order
+    identical to the in-memory apply order; committing outside it is
+    what lets concurrent writers share an fsync.  Undos deliberately run
+    *without* the order lock: a failed fsync makes the WAL block every
+    new append (and checkpoint) until each failed statement acknowledges
+    its rollback, so the only concurrent catalog mutators during an undo
+    are the other undoers of the same batch — whose truncate-to-length
+    semantics commute — and taking the lock would deadlock against an
+    appender already blocked inside it.  A statement is
+    acknowledged (returns) only after :meth:`~WriteAheadLog.commit`, and
+    a failed commit rolls the in-memory effect back — so the catalog
+    observable to readers only ever runs *ahead* of disk by statements
+    whose fate is still undecided, never behind it.
+    """
+
+    def __init__(self, wal_dir: str, commit_window_ms: float = 2.0,
+                 checkpoint_interval: int = 0) -> None:
+        os.makedirs(wal_dir, exist_ok=True)
+        self.wal_dir = wal_dir
+        self.checkpoint_interval = max(int(checkpoint_interval), 0)
+        self.order_lock = threading.Lock()
+        self.catalog, self.report = recover(wal_dir)
+        self.wal = WriteAheadLog(os.path.join(wal_dir, WAL_FILENAME),
+                                 commit_window_ms=commit_window_ms,
+                                 last_lsn=self.report.last_lsn)
+        self._since_checkpoint = 0
+
+    # -- the write pipeline ---------------------------------------------
+
+    def log(self, kind: str, data: Any, apply: Callable[[], Any],
+            undo: Callable[[], None]) -> Any:
+        """Durably execute one pre-validated statement.
+
+        ``apply`` must not fail (validate before calling); ``undo`` must
+        exactly reverse it and be safe under any interleaving of
+        concurrent statements (truncate-to-length, not pop-by-value).
+        Returns ``apply()``'s result after the record is fsynced.
+        """
+        with self.order_lock:
+            lsn = self.wal.append(kind, data)
+            result = apply()
+        try:
+            self.wal.commit(lsn)
+        except WalError:
+            try:
+                undo()
+            finally:
+                self.wal.acknowledge_rollback(lsn)
+            raise
+        self._since_checkpoint += 1
+        return result
+
+    # -- checkpointing ---------------------------------------------------
+
+    def maybe_checkpoint(self) -> Optional[CheckpointReport]:
+        """Checkpoint when the configured record interval has elapsed."""
+        if not self.checkpoint_interval:
+            return None
+        if self._since_checkpoint < self.checkpoint_interval:
+            return None
+        return self.checkpoint()
+
+    def checkpoint(self) -> CheckpointReport:
+        """Write a checkpoint of the current catalog, then truncate the
+        WAL.  Holding ``order_lock`` across ``sync_all`` + write means
+        the snapshot equals the durable prefix exactly — no statement
+        can apply between the fsync and the copy."""
+        with self.order_lock:
+            try:
+                self.wal.wait_rollbacks()
+                self.wal.sync_all()
+                report = write_checkpoint(self.catalog, self.wal_dir,
+                                          self.wal.durable_lsn)
+            except (CheckpointError, WalError):
+                PERSIST_CHECKPOINTS.labels(outcome="failed").inc()
+                raise
+            PERSIST_CHECKPOINTS.labels(outcome="ok").inc()
+            self.wal.truncate()
+            self._since_checkpoint = 0
+            prune_checkpoints(self.wal_dir)
+            return report
+
+    def adopt(self, catalog: Catalog) -> CheckpointReport:
+        """Take ownership of an externally built catalog (e.g. the data
+        generator's) and immediately checkpoint it, so the adopted
+        baseline is durable before the first statement runs."""
+        self.catalog = catalog
+        return self.checkpoint()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def simulate_crash(self, keep_bytes: Optional[int] = None) -> int:
+        """Test hook: crash the WAL, keeping ``keep_bytes`` of the file
+        (clamped to the durable..written range).  The engine is dead
+        afterwards; build a new one on the same directory to recover."""
+        return self.wal.simulate_crash(keep_bytes)
+
+    def close(self) -> None:
+        """Flush and close the WAL; idempotent."""
+        self.wal.close()
+
+
+# --------------------------------------------------------------------------
+# canonical catalog bytes (the chaos harness's equality witness)
+# --------------------------------------------------------------------------
+
+def catalog_canonical_bytes(catalog: Catalog) -> bytes:
+    """A canonical byte serialization of a catalog's full contents.
+
+    Schemas and tables are visited in sorted-name order (so dict
+    insertion order — which replay does not preserve for re-created
+    tables — cannot leak in), columns in definition order, each
+    contributing its name, type, and ship payload.  Two catalogs with
+    identical data produce identical bytes; the ``durability-chaos``
+    harness compares these across crash/recover cycles.
+    """
+    parts: List[bytes] = []
+    for schema_name in sorted(catalog.schemas):
+        schema = catalog.schemas[schema_name]
+        parts.append(f"S:{schema.name}\n".encode())
+        for table_name in sorted(schema.tables):
+            table = schema.tables[table_name]
+            parts.append(f"T:{table.name}\n".encode())
+            for column in table.columns.values():
+                payload = column.bat.to_ship_bytes()
+                parts.append(
+                    f"C:{column.name}:{column.mal_type.name}:"
+                    f"{len(payload)}\n".encode())
+                parts.append(payload)
+    return b"".join(parts)

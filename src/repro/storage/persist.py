@@ -12,6 +12,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import zlib
 from typing import Any
 
 from repro.errors import StorageError
@@ -20,6 +21,10 @@ from repro.storage.types import type_by_name
 
 _FORMAT_VERSION = 1
 _DATE_TAG = "@date:"
+#: Trailer appended after the JSON document: a whole-file checksum so
+#: bit-rot is detected instead of half-loaded.  Files without it (saved
+#: by older versions) still load.
+_CRC_PREFIX = "\n#crc32="
 
 
 def _encode(value: Any) -> Any:
@@ -58,10 +63,12 @@ def save_catalog(catalog: Catalog, path: str) -> int:
             )
             total_rows += table.row_count()
         document["schemas"].append(schema_doc)
+    text = json.dumps(document)
+    text += f"{_CRC_PREFIX}{zlib.crc32(text.encode('utf-8')):08x}\n"
     tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp_path, "w") as handle:
-            json.dump(document, handle)
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -78,40 +85,71 @@ def load_catalog(path: str) -> Catalog:
     """Rebuild a catalog saved by :func:`save_catalog`.
 
     Raises:
-        StorageError: on version mismatch or structural problems.
+        StorageError: on a checksum mismatch, a version mismatch, or any
+            structural problem in the document (wrong shapes or missing
+            keys raise here as typed errors, never as a leaked
+            ``KeyError``/``TypeError``).
     """
     with open(path) as handle:
+        text = handle.read()
+    crc_at = text.rfind(_CRC_PREFIX)
+    if crc_at != -1:
+        body, trailer = text[:crc_at], text[crc_at + len(_CRC_PREFIX):]
         try:
-            document = json.load(handle)
-        except json.JSONDecodeError as exc:
-            raise StorageError(f"corrupt catalog file: {exc}") from None
+            expected = int(trailer.strip(), 16)
+        except ValueError:
+            raise StorageError(
+                f"corrupt catalog file {path!r}: malformed checksum "
+                f"trailer") from None
+        actual = zlib.crc32(body.encode("utf-8"))
+        if actual != expected:
+            raise StorageError(
+                f"corrupt catalog file {path!r}: checksum mismatch "
+                f"(expected {expected:08x}, computed {actual:08x})")
+        text = body
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt catalog file: {exc}") from None
+    if not isinstance(document, dict):
+        raise StorageError(
+            f"malformed catalog file {path!r}: expected a JSON object, "
+            f"got {type(document).__name__}")
     if document.get("version") != _FORMAT_VERSION:
         raise StorageError(
             f"unsupported catalog format version {document.get('version')!r}"
         )
     catalog = Catalog()
-    for schema_doc in document.get("schemas", []):
-        name = schema_doc["name"]
-        if name.lower() in catalog.schemas:
-            schema = catalog.schema(name)
-        else:
-            schema = catalog.create_schema(name)
-        for table_doc in schema_doc.get("tables", []):
-            column_docs = table_doc["columns"]
-            if not column_docs:
-                raise StorageError(
-                    f"table {table_doc['name']!r} has no columns"
-                )
-            spec = [
-                (c["name"], type_by_name(c["type"])) for c in column_docs
-            ]
-            table = schema.create_table(table_doc["name"], spec)
-            lengths = {len(c["values"]) for c in column_docs}
-            if len(lengths) > 1:
-                raise StorageError(
-                    f"table {table_doc['name']!r} has ragged columns"
-                )
-            for column_doc, column in zip(column_docs,
-                                          table.columns.values()):
-                column.bat.extend(_decode(v) for v in column_doc["values"])
+    try:
+        for schema_doc in document.get("schemas", []):
+            name = schema_doc["name"]
+            if name.lower() in catalog.schemas:
+                schema = catalog.schema(name)
+            else:
+                schema = catalog.create_schema(name)
+            for table_doc in schema_doc.get("tables", []):
+                column_docs = table_doc["columns"]
+                if not column_docs:
+                    raise StorageError(
+                        f"table {table_doc['name']!r} has no columns"
+                    )
+                spec = [
+                    (c["name"], type_by_name(c["type"])) for c in column_docs
+                ]
+                table = schema.create_table(table_doc["name"], spec)
+                lengths = {len(c["values"]) for c in column_docs}
+                if len(lengths) > 1:
+                    raise StorageError(
+                        f"table {table_doc['name']!r} has ragged columns"
+                    )
+                for column_doc, column in zip(column_docs,
+                                              table.columns.values()):
+                    column.bat.extend(
+                        _decode(v) for v in column_doc["values"])
+    except StorageError:
+        raise
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        raise StorageError(
+            f"malformed catalog document in {path!r}: "
+            f"{type(exc).__name__}: {exc}") from None
     return catalog

@@ -27,7 +27,26 @@ _GUARDED_MODULES = (
     "test_broadcast",
     "test_mpool",
     "test_parallel_parity",
+    "test_durability",
 )
+
+
+def _durable_fds() -> int:
+    """Open WAL/checkpoint file descriptors (durable-storage leak check)."""
+    count = 0
+    try:
+        fd_dir = "/proc/self/fd"
+        for name in os.listdir(fd_dir):
+            try:
+                target = os.readlink(os.path.join(fd_dir, name))
+            except OSError:
+                continue
+            base = os.path.basename(target)
+            if base == "wal.log" or "/checkpoint-" in target:
+                count += 1
+    except OSError:
+        pass
+    return count
 
 
 def _socket_fds() -> set:
@@ -82,6 +101,7 @@ def leak_guard(request):
     sockets_before = len(_socket_fds())
     children_before = len(_child_pids())
     shm_before = _shm_segments()
+    durable_before = _durable_fds()
     yield
     deadline = time.monotonic() + 2.0
     while time.monotonic() < deadline:
@@ -89,8 +109,10 @@ def leak_guard(request):
         leaked_sockets = len(_socket_fds()) - sockets_before
         leaked_children = len(_child_pids()) - children_before
         leaked_shm = _shm_segments() - shm_before
+        leaked_durable = _durable_fds() - durable_before
         if not leaked_threads and leaked_sockets <= 0 \
-                and leaked_children <= 0 and not leaked_shm:
+                and leaked_children <= 0 and not leaked_shm \
+                and leaked_durable <= 0:
             return
         time.sleep(0.05)
     assert not leaked_threads, (
@@ -102,3 +124,5 @@ def leak_guard(request):
         f"{sorted(_child_pids())}")
     assert not leaked_shm, (
         f"leaked shared-memory segments: {sorted(leaked_shm)}")
+    assert leaked_durable <= 0, (
+        f"leaked {leaked_durable} WAL/checkpoint fd(s)")

@@ -82,11 +82,12 @@ class TestPersistence:
         save_catalog(self.make_catalog(), path)
         good = load_catalog(path)
 
-        def explode(document, handle, *args, **kwargs):
-            handle.write('{"version":')  # a torn, half-written document
+        def explode(fd):
+            # the temp file holds a complete document by now; dying on
+            # its fsync models a crash after a (possibly torn) write
             raise OSError("disk full")
 
-        monkeypatch.setattr("repro.storage.persist.json.dump", explode)
+        monkeypatch.setattr("repro.storage.persist.os.fsync", explode)
         with pytest.raises(OSError):
             save_catalog(self.make_catalog(), path)
         monkeypatch.undo()
@@ -98,7 +99,8 @@ class TestPersistence:
         leftovers = [p.name for p in tmp_path.iterdir()
                      if p.name != "db.json"]
         assert leftovers == []
-        assert json_module.loads(open(path).read())["version"] == 1
+        document, _crc = open(path).read().rsplit("#crc32=", 1)
+        assert json_module.loads(document)["version"] == 1
 
     def test_save_replaces_existing_file(self, tmp_path):
         path = str(tmp_path / "db.json")

@@ -76,9 +76,10 @@ class TestDocstringCoverage:
             )
 
     def test_docs_directory_complete(self):
-        for name in ("architecture.md", "mal_reference.md",
-                     "trace_format.md", "metrics_reference.md",
-                     "operations.md", "streaming.md"):
+        for name in ("architecture.md", "durability.md",
+                     "mal_reference.md", "trace_format.md",
+                     "metrics_reference.md", "operations.md",
+                     "streaming.md"):
             assert os.path.exists(os.path.join(DOCS_DIR, name))
 
 
