@@ -242,7 +242,11 @@ class Database:
             elif catalog is not None:
                 # seed catalog (e.g. the data generator's): make the
                 # baseline durable before the first statement runs
-                self.durability.adopt(catalog)
+                try:
+                    self.durability.adopt(catalog)
+                except Exception:
+                    self.durability.close()
+                    raise
             else:
                 catalog = self.durability.catalog
         self.catalog = catalog or Catalog()
@@ -583,9 +587,16 @@ class Database:
             return QueryOutcome(kind="insert", affected=inserted)
         data = {"schema": self.catalog.schema().name, "table": table.name,
                 "rows": rows}
-        snapshots = [column.bat.count() for column in columns]
+        # Pre-insert lengths for rollback.  Captured inside apply() —
+        # i.e. under the engine's order lock, immediately before the
+        # insert — never out here: the server runs statements on a
+        # thread pool, so a concurrent INSERT into the same table could
+        # commit between an early snapshot and our apply, and our undo
+        # would then truncate its acknowledged, WAL-durable rows away.
+        snapshots: List[int] = []
 
         def apply() -> int:
+            snapshots[:] = [column.bat.count() for column in columns]
             return table.insert_many(rows)
 
         def undo() -> None:

@@ -470,7 +470,11 @@ def write_checkpoint(catalog: Catalog, directory: str,
 
     One ``.col`` file per column (the BAT's memoized ship payload), then
     a manifest with per-file CRCs; everything goes to a ``.tmp``
-    directory, is fsynced, and the directory is renamed into place.
+    directory, is fsynced (files *and* the directory), and the directory
+    is renamed into place.  A valid checkpoint already present at this
+    LSN is reused as-is — same LSN means same durable prefix, and
+    deleting it first would leave a crash window with no checkpoint
+    while its WAL coverage is already truncated.
     Injected faults: ``partial-manifest`` truncates the manifest *and
     still renames* (recovery must detect and fall back);
     ``crash-before-rename`` abandons the temp directory.
@@ -480,8 +484,35 @@ def write_checkpoint(catalog: Catalog, directory: str,
     tmp = final + ".tmp"
     if os.path.exists(tmp):
         shutil.rmtree(tmp)
+    stale: Optional[str] = None
     if os.path.exists(final):
-        shutil.rmtree(final)
+        # Same-LSN checkpoints (e.g. two `checkpoint` commands with no
+        # intervening statements) describe the same durable prefix.
+        # Deleting the existing directory before its replacement is
+        # renamed into place would open a crash window with *no*
+        # checkpoint at this LSN — and the WAL it covered was already
+        # truncated by the first success.  If it validates, it already
+        # is the checkpoint we would write: reuse it.  Only a damaged
+        # directory is moved aside, and removed after the replacement
+        # lands.
+        try:
+            _, _, existing_rows = load_checkpoint(final)
+        except CheckpointError:
+            stale = final + ".stale"
+            if os.path.exists(stale):
+                shutil.rmtree(stale)
+            os.rename(final, stale)
+        else:
+            files = 0
+            existing_bytes = 0
+            for entry in os.listdir(final):
+                if entry.endswith(".col"):
+                    files += 1
+                    existing_bytes += os.path.getsize(
+                        os.path.join(final, entry))
+            return CheckpointReport(path=final, lsn=lsn, files=files,
+                                    rows=existing_rows,
+                                    bytes=existing_bytes)
     os.makedirs(tmp)
     plan = ACTIVE.plan
     decision = (plan.decide("persist.checkpoint", detail=name)
@@ -523,11 +554,17 @@ def write_checkpoint(catalog: Catalog, directory: str,
         handle.write(text)
         handle.flush()
         os.fsync(handle.fileno())
+    # fsync the temp directory itself (not just the files in it) so the
+    # renamed checkpoint cannot surface after a power loss with missing
+    # column-file entries while the later WAL truncate survives
+    _fsync_dir(tmp)
     if decision is not None and decision.action == "crash-before-rename":
         raise CheckpointError(
             f"injected crash before renaming {tmp} into place")
     os.rename(tmp, final)
     _fsync_dir(directory)
+    if stale is not None:
+        shutil.rmtree(stale, ignore_errors=True)
     if decision is not None and decision.action == "partial-manifest":
         raise CheckpointError(
             f"checkpoint {name} renamed with a torn manifest")
@@ -602,8 +639,9 @@ def load_checkpoint(path: str) -> Tuple[Catalog, int, int]:
 
 
 def prune_checkpoints(directory: str, keep: int = KEEP_CHECKPOINTS) -> int:
-    """Delete all but the newest ``keep`` checkpoints (plus any stale
-    ``.tmp`` directories); returns how many were removed."""
+    """Delete all but the newest ``keep`` checkpoints (plus any
+    leftover ``.tmp``/``.stale`` directories); returns how many were
+    removed."""
     removed = 0
     checkpoints = list_checkpoints(directory)
     for _, path in checkpoints[:-keep] if keep else checkpoints:
@@ -614,11 +652,12 @@ def prune_checkpoints(directory: str, keep: int = KEEP_CHECKPOINTS) -> int:
     except FileNotFoundError:
         return removed
     for name in names:
-        if name.endswith(".tmp") and \
-                _CHECKPOINT_RE.match(name[:-len(".tmp")]):
-            shutil.rmtree(os.path.join(directory, name),
-                          ignore_errors=True)
-            removed += 1
+        for suffix in (".tmp", ".stale"):
+            if name.endswith(suffix) and \
+                    _CHECKPOINT_RE.match(name[:-len(suffix)]):
+                shutil.rmtree(os.path.join(directory, name),
+                              ignore_errors=True)
+                removed += 1
     return removed
 
 

@@ -30,14 +30,17 @@ from repro.faults import FaultPlan, armed, disarm
 from repro.server.database import Database
 from repro.storage import Catalog
 from repro.storage.durable import (
+    MANIFEST_FILENAME,
     DurableEngine,
     WriteAheadLog,
     catalog_canonical_bytes,
     list_checkpoints,
+    load_checkpoint,
     recover,
     scan_wal,
 )
 from repro.storage.persist import load_catalog, save_catalog
+from repro.storage.types import type_by_name
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src")
@@ -334,6 +337,107 @@ class TestCheckpointFaults:
         assert report.torn
         assert report.replayed_records == 0
         assert "t" not in catalog.schema().tables
+
+
+class TestWritePathRegressions:
+    """Reviewed durability edge cases, pinned so they stay fixed."""
+
+    def test_insert_rollback_spares_concurrently_committed_rows(
+            self, tmp_path):
+        """Rollback snapshots are captured at apply() time — under the
+        engine's order lock — not at statement-construction time.  A
+        concurrent INSERT that commits in between must survive this
+        statement's rollback; truncating it away would leave memory
+        *behind* the durable WAL, and the next checkpoint would persist
+        the loss."""
+        db = _durable(tmp_path)
+        db.execute("create table t (a integer)")
+        table = db.catalog.table("t")
+        real_log = db.durability.log
+        hooks = {}
+
+        def interleaving_log(kind, data, apply, undo):
+            # Between this statement's closure construction and its
+            # apply(), another thread's INSERT commits — the exact
+            # interleaving the server's executor threads allow.
+            real_log("insert",
+                     {"schema": "sys", "table": "t", "rows": [[1]]},
+                     lambda: table.insert_many([[1]]), lambda: None)
+            hooks["undo"] = undo
+            return real_log(kind, data, apply, undo)
+
+        db.durability.log = interleaving_log
+        db.execute("insert into t values (2)")
+        db.durability.log = real_log
+        assert table.row_count() == 2
+        # roll the second statement back, as its failed fsync would
+        hooks["undo"]()
+        assert table.row_count() == 1
+        assert table.columns["a"].bat.tail[0] == 1
+        db.close()
+
+    def test_repeated_checkpoint_reuses_the_same_lsn_directory(
+            self, tmp_path):
+        db = _durable(tmp_path)
+        db.execute("create table t (a integer)")
+        db.execute("insert into t values (1)")
+        first = db.checkpoint()
+        # A second checkpoint with no intervening statements lands on
+        # the same LSN.  The existing directory must be reused — never
+        # deleted first: a crash in between would leave no checkpoint
+        # at the LSN while the WAL it covered is already truncated.
+        sentinel = os.path.join(first.path, "sentinel")
+        with open(sentinel, "w"):
+            pass
+        second = db.checkpoint()
+        assert (second.path, second.lsn, second.rows, second.files,
+                second.bytes) == (first.path, first.lsn, first.rows,
+                                  first.files, first.bytes)
+        assert os.path.exists(sentinel)  # reused in place, not rewritten
+        db.close()
+        again = _durable(tmp_path)
+        assert again.recovery.checkpoint_lsn == first.lsn
+        assert again.catalog.table("t").row_count() == 1
+        again.close()
+
+    def test_damaged_same_lsn_checkpoint_is_replaced(self, tmp_path):
+        db = _durable(tmp_path)
+        db.execute("create table t (a integer)")
+        db.execute("insert into t values (1)")
+        first = db.checkpoint()
+        with open(os.path.join(first.path, MANIFEST_FILENAME),
+                  "w") as handle:
+            handle.write("{")  # bit-rot: the directory no longer validates
+        second = db.checkpoint()
+        assert second.path == first.path
+        _catalog, lsn, rows = load_checkpoint(second.path)
+        assert (lsn, rows) == (first.lsn, 1)
+        # the damaged copy was moved aside and cleaned up after the
+        # replacement landed
+        assert not [n for n in os.listdir(str(tmp_path))
+                    if n.endswith(".stale")]
+        db.close()
+
+    def test_failed_adopt_closes_the_wal(self, tmp_path):
+        catalog = Catalog()
+        catalog.schema().create_table("t", [("a", type_by_name("int"))])
+        plan = FaultPlan.from_spec(
+            "persist.checkpoint:crash-before-rename@1.0#1", seed=1)
+        with armed(plan):
+            with pytest.raises(CheckpointError):
+                Database(wal_dir=str(tmp_path), catalog=catalog,
+                         commit_window_ms=0.0)
+        fd_dir = "/proc/self/fd"
+        if os.path.isdir(fd_dir):  # no leaked fd into the wal dir
+            for name in os.listdir(fd_dir):
+                try:
+                    target = os.readlink(os.path.join(fd_dir, name))
+                except OSError:
+                    continue
+                assert not target.startswith(str(tmp_path)), target
+        # and the directory is reopenable
+        again = _durable(tmp_path)
+        again.close()
 
 
 class TestInsertBindTyping:
