@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression gate for the committed E9-E12 baselines.
+"""Perf regression gate for the committed E9-E13 baselines.
 
 E9 (kernels): runs the kernel/plan-cache benchmarks fresh and compares
 every recorded speedup against the committed baseline in
@@ -30,6 +30,14 @@ checkpoints round-trip byte-identically -- against both the fresh run
 and the committed ``benchmarks/BENCH_E12_durability.json``.  Rates are
 printed but never gated.
 
+E13 (replication): runs the WAL-shipping benchmarks fresh and checks
+the *invariants* -- replication lag drains to zero after the write
+load, the replica finishes byte-identical to the primary, failover
+promotes onto a clean acked prefix with a bumped epoch and serves
+reads -- against both the fresh run and the committed
+``benchmarks/BENCH_E13_replication.json``.  Lag and failover times are
+printed but never gated.
+
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --write  # rebase
@@ -52,6 +60,7 @@ import bench_e9_kernels  # noqa: E402
 import bench_e10_connections  # noqa: E402
 import bench_e11_parallel  # noqa: E402
 import bench_e12_durability  # noqa: E402
+import bench_e13_replication  # noqa: E402
 
 
 def check_e9(args) -> int:
@@ -260,13 +269,57 @@ def check_e12(args) -> int:
     return 0
 
 
+def check_e13(args) -> int:
+    fresh = bench_e13_replication.run_benchmarks()
+    if args.write:
+        bench_e13_replication.write_results(
+            fresh, bench_e13_replication.BASELINE_PATH)
+        print("baseline rewritten: "
+              f"{bench_e13_replication.BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(bench_e13_replication.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e13_replication.BASELINE_PATH}; run with "
+              "--write first", file=sys.stderr)
+        return 2
+    with open(bench_e13_replication.BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = list(bench_e13_replication.check_invariants(fresh))
+    # the committed baseline must hold every invariant the fresh run
+    # knows about -- a baseline rebased over a violation is itself a bug
+    for name in fresh["invariants"]:
+        if not baseline.get("invariants", {}).get(name, False):
+            failures.append(
+                f"committed baseline violates invariant: {name}")
+    for name, held in sorted(fresh["invariants"].items()):
+        print(f"{name:32s} {'ok' if held else 'VIOLATED'}")
+    lag = fresh["lag"]
+    failover = fresh["failover"]
+    print(f"(info) {lag['records']} records at {lag['records_per_s']} "
+          f"rec/s, max lag {lag['max_lag_records']} records, drained "
+          f"in {lag['drain_seconds']}s; failover promote "
+          f"{failover['promote_seconds']}s, first read "
+          f"{failover['first_read_seconds']}s")
+
+    if failures:
+        print(f"\n{len(failures)} E13 check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall replication invariants hold")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true",
                         help="rewrite the committed baseline(s) and exit")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup loss (default .25)")
-    parser.add_argument("--only", choices=["e9", "e10", "e11", "e12"],
+    parser.add_argument("--only",
+                        choices=["e9", "e10", "e11", "e12", "e13"],
                         default=None,
                         help="run a single gate instead of all")
     args = parser.parse_args()
@@ -283,6 +336,9 @@ def main() -> int:
     if args.only in (None, "e12"):
         print()
         status = max(status, check_e12(args))
+    if args.only in (None, "e13"):
+        print()
+        status = max(status, check_e13(args))
     return status
 
 

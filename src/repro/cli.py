@@ -21,6 +21,11 @@ Subcommands mirror how the paper's tools are operated:
                truncate the log (offline compaction)
 ``recover``    recover a WAL directory and report what survived —
                checkpoint used, records replayed, torn tail dropped
+               (exit 0 clean; exit 3 when a torn/corrupt tail was
+               truncated — the recovery was lossy)
+``promote``    promote a running replica to primary (epoch bump +
+               divergent-tail truncation; see docs/operations.md §11)
+``repl-status``  one node's replication role, epoch, LSNs and lag
 =============  =========================================================
 """
 
@@ -102,6 +107,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-history", type=int, default=8192,
                        help="broadcast entries retained for "
                             "subscribe-from-sequence resume")
+    serve.add_argument("--replicate-from", default=None,
+                       metavar="HOST:PORT",
+                       help="start as a read replica pulling the WAL "
+                            "from this primary (requires --wal-dir; "
+                            "TPC-H generation is skipped — the replica "
+                            "bootstraps from the primary's checkpoint)")
+    serve.add_argument("--peers", default=None,
+                       help="comma-separated host:port list of every "
+                            "node in the replicated topology (the "
+                            "election set for automatic failover)")
+    serve.add_argument("--node-host", default="127.0.0.1",
+                       help="address this node advertises to peers "
+                            "(must match how peers list it)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                       help="seconds without primary contact before a "
+                            "replica starts a failover election")
+    serve.add_argument("--no-auto-failover", action="store_true",
+                       help="never self-promote on primary loss; "
+                            "failover only via 'repro promote'")
 
     query = commands.add_parser("query", help="run SQL against a server")
     query.add_argument("sql", nargs="?", default=None)
@@ -234,6 +258,18 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("wal_dir",
                          help="durable directory (serve --wal-dir)")
 
+    promote = commands.add_parser(
+        "promote", help="promote a running replica to primary"
+    )
+    promote.add_argument("--port", type=int, default=50000)
+    promote.add_argument("--host", default="127.0.0.1")
+
+    repl_status = commands.add_parser(
+        "repl-status", help="one node's replication role, epoch and lag"
+    )
+    repl_status.add_argument("--port", type=int, default=50000)
+    repl_status.add_argument("--host", default="127.0.0.1")
+
     return parser
 
 
@@ -254,7 +290,18 @@ def _cmd_serve(args, out) -> int:
         db_options.update(wal_dir=args.wal_dir,
                           commit_window_ms=args.commit_window_ms,
                           checkpoint_interval=args.checkpoint_interval)
-    if args.catalog:
+    if args.replicate_from:
+        if not args.wal_dir:
+            out.write("error: --replicate-from requires --wal-dir "
+                      "(replication ships the WAL)\n")
+            return 2
+        # a replica never generates its own data: whatever the
+        # directory holds is recovered, and the rest streams in from
+        # the primary (checkpoint bootstrap + WAL tail)
+        db = Database(**db_options)
+        if db.recovery is not None and db.recovery.recovered_anything:
+            out.write(db.recovery.describe() + "\n")
+    elif args.catalog:
         from repro.storage.persist import load_catalog
 
         catalog = load_catalog(args.catalog)
@@ -284,6 +331,20 @@ def _cmd_serve(args, out) -> int:
                  subscriber_buffer=args.subscriber_buffer,
                  max_subscribers=args.max_subscribers,
                  trace_history=args.trace_history) as server:
+        peers = tuple(p.strip() for p in (args.peers or "").split(",")
+                      if p.strip())
+        if args.replicate_from or peers:
+            from repro.replication import ReplicationManager
+
+            manager = ReplicationManager(
+                server, addr=f"{args.node_host}:{server.port}",
+                primary=args.replicate_from, peers=peers,
+                heartbeat_timeout_s=args.heartbeat_timeout,
+                auto_failover=not args.no_auto_failover)
+            server.replication = manager.start()
+            out.write(f"replication: role {manager.role}, "
+                      f"primary {manager.primary}, "
+                      f"{len(manager.peers)} peer(s)\n")
         out.write(f"Mserver listening on port {server.port}\n")
         out.flush()
         deadline = (time.monotonic() + args.max_seconds
@@ -551,6 +612,40 @@ def _cmd_recover(args, out) -> int:
             out.write(f"  {schema.name}.{table.name}: "
                       f"{table.row_count()} rows, "
                       f"{len(table.columns)} columns\n")
+    # lossy recovery (a torn/corrupt tail was truncated) is a success
+    # for the engine but an event for the operator — give scripts a
+    # distinct exit code instead of burying it in the report text
+    return 3 if report.torn else 0
+
+
+def _cmd_promote(args, out) -> int:
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        status = client.promote()
+    if status.get("promoted"):
+        out.write(f"promoted {status.get('addr', '')} to primary at "
+                  f"epoch {status.get('epoch')} "
+                  f"(dropped {status.get('dropped_records', 0)} "
+                  f"unacked record(s))\n")
+    else:
+        out.write(f"{status.get('addr', '')} is already primary "
+                  f"(epoch {status.get('epoch')})\n")
+    return 0
+
+
+def _cmd_repl_status(args, out) -> int:
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        status = client.repl_status()
+    for key in ("role", "addr", "primary", "epoch", "durable_lsn",
+                "checkpoint_lsn", "lag_records", "lag_bytes",
+                "last_contact_s", "records_applied", "failovers"):
+        if key in status:
+            out.write(f"{key}: {status[key]}\n")
+    peers = status.get("peers") or []
+    out.write(f"peers: {', '.join(peers) if peers else '(none)'}\n")
     return 0
 
 
@@ -567,6 +662,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "checkpoint": _cmd_checkpoint,
     "recover": _cmd_recover,
+    "promote": _cmd_promote,
+    "repl-status": _cmd_repl_status,
 }
 
 

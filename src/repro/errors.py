@@ -143,6 +143,35 @@ class ServerOverloadedError(ServerError):
     """
 
 
+class ReplicationError(ServerError):
+    """Errors from the WAL-shipping replication layer."""
+
+
+class ReplicationFencedError(ReplicationError):
+    """A replication request carried a stale epoch and was fenced.
+
+    Raised by a follower that sees a deposed primary's stream (the
+    follower's persisted epoch is higher), and by a deposed primary
+    that learns of a newer epoch from a peer.  The deposed node must
+    stop shipping and rejoin as a replica — its unacked tail is
+    truncated exactly as crash recovery would.
+    """
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A write statement was sent to a read-only replica.
+
+    Carries the current ``primary`` address (``"host:port"``, may be
+    empty if unknown) so clients can re-route the write.  The write
+    was rejected before execution, so re-submitting it against the
+    primary is always safe.
+    """
+
+    def __init__(self, message: str, primary: str = "") -> None:
+        super().__init__(message)
+        self.primary = primary
+
+
 class ProfilerError(ReproError):
     """Errors from the profiler and trace I/O."""
 

@@ -50,6 +50,10 @@ MIXES: Dict[str, str] = {
                          "persist.wal:latency=1@0.2;"
                          "persist.checkpoint:partial-manifest@0.3#1;"
                          "persist.checkpoint:crash-before-rename@0.3#1"),
+    "replication-chaos": ("repl.stream:drop@0.10;"
+                          "repl.stream:latency=5@0.20;"
+                          "repl.stream:partition=150@0.05#1;"
+                          "repl.promote:crash@0.5#1"),
 }
 
 #: Mixes whose faults touch only the UDP stream; for these the exact
@@ -58,10 +62,12 @@ MIXES: Dict[str, str] = {
 UDP_ONLY_MIXES = ("drop10", "reorder", "dup")
 
 #: Mixes whose fault journals are legitimately nondeterministic:
-#: ``overload`` runs concurrent clients racing for the plan's RNG, and
-#: ``slow-query`` truncates execution at a wall-clock deadline — so the
-#: replay-journal determinism check does not apply to them.
-REPLAY_EXEMPT = ("overload", "slow-query")
+#: ``overload`` runs concurrent clients racing for the plan's RNG,
+#: ``slow-query`` truncates execution at a wall-clock deadline, and
+#: ``replication-chaos`` has a background puller thread whose sync
+#: cadence (how many pulls land before the kill) is wall-clock-paced —
+#: so the replay-journal determinism check does not apply to them.
+REPLAY_EXEMPT = ("overload", "slow-query", "replication-chaos")
 
 
 @dataclass
@@ -150,6 +156,8 @@ def run_case(server, seed: int, mix: str, spec: Optional[str] = None,
         return _run_worker_chaos_case(server, seed, spec, wall_cap_s)
     if mix == "durability-chaos":
         return _run_durability_case(seed, spec, wall_cap_s)
+    if mix == "replication-chaos":
+        return _run_replication_case(seed, spec, wall_cap_s)
     plan = FaultPlan.from_spec(spec, seed=seed)
     sql = "select count(*) from lineitem where l_quantity > 10"
     sent_events = UDP_DATAGRAMS_SENT.labels(kind="event")
@@ -560,6 +568,242 @@ def _run_durability_case(seed: int, spec: str,
         seed=seed, mix="durability-chaos", ok=not violations, wall_s=wall_s,
         outcome=outcome, error=error,
         completeness=acked / sent if sent else 0.0,
+        fault_fires=len(plan.journal), journal=list(plan.journal),
+        violations=violations,
+    )
+
+
+def _run_replication_case(seed: int, spec: str,
+                          wall_cap_s: float) -> CaseResult:
+    """The ``replication-chaos`` mix: kill the primary mid-write-load.
+
+    Builds a private two-node topology (primary + replica, each a real
+    Mserver over its own WAL directory), streams a seeded write load
+    through the primary while the replica pulls under armed
+    ``repl.stream`` faults (drops, latency, a partition window), then
+    SIGKILL-shapes the primary mid-load (durable-watermark truncation,
+    exactly like the durability mix) and promotes the replica — with
+    ``repl.promote:crash`` able to fire on the first attempt.
+
+    Invariants: the promoted replica's catalog is **byte-identical**
+    (``catalog_canonical_bytes``) to a *clean acked prefix* of the
+    statements the primary acknowledged — never a torn or interleaved
+    state; the promoted node serves reads and accepts writes; and the
+    resurrected old primary is fenced on epoch — its stale stream is
+    rejected by followers and it demotes itself on first contact with
+    the new epoch, so no seed ever has two writable nodes.
+    """
+    import random
+    import shutil
+    import tempfile
+
+    from repro.errors import ReadOnlyReplicaError, ReplicationFencedError
+    from repro.replication import ReplicationManager
+    from repro.server.client import MClient
+    from repro.server.database import Database
+    from repro.server.mserver import Mserver
+    from repro.storage.durable import catalog_canonical_bytes
+
+    plan = FaultPlan.from_spec(spec, seed=seed)
+    rng = random.Random(seed * 6521 + 5)
+    violations: List[str] = []
+    outcome, error = "rows", ""
+    acked: List[str] = []
+    primary_dir = tempfile.mkdtemp(prefix=f"chaos-repl-p-{seed}-")
+    replica_dir = tempfile.mkdtemp(prefix=f"chaos-repl-r-{seed}-")
+    began = time.monotonic()
+    primary_server = replica_server = revived_server = None
+    try:
+        with armed(plan):
+            primary_db = Database(wal_dir=primary_dir,
+                                  commit_window_ms=0.0,
+                                  checkpoint_interval=4)
+            primary_server = Mserver(primary_db).start()
+            primary_addr = f"127.0.0.1:{primary_server.port}"
+            primary_mgr = ReplicationManager(primary_server,
+                                             addr=primary_addr)
+            primary_server.replication = primary_mgr.start()
+
+            client = MClient(port=primary_server.port, timeout=5.0,
+                             retries=0, deadline_s=wall_cap_s / 2,
+                             retry_seed=seed)
+            try:
+                statements = [
+                    "create table chaos_r (id integer, tag varchar(16),"
+                    " score double)"
+                ]
+                for _ in range(5):
+                    statements.append(
+                        f"insert into chaos_r values "
+                        f"({rng.randrange(1000)}, 't{rng.randrange(100)}',"
+                        f" {rng.randrange(1000) / 8.0})")
+                for sql in statements:
+                    client.query(sql)
+                    acked.append(sql)
+
+                # the replica joins after the primary has checkpointed,
+                # so most seeds exercise the bootstrap path too
+                replica_db = Database(wal_dir=replica_dir,
+                                      commit_window_ms=0.0)
+                replica_server = Mserver(replica_db).start()
+                replica_addr = f"127.0.0.1:{replica_server.port}"
+                replica_mgr = ReplicationManager(
+                    replica_server, addr=replica_addr,
+                    primary=primary_addr,
+                    peers=(primary_addr, replica_addr),
+                    poll_interval_s=0.01, auto_failover=False)
+                replica_server.replication = replica_mgr.start()
+
+                # keep writing while the replica replicates under fire
+                for _ in range(10):
+                    sql = (f"insert into chaos_r values "
+                           f"({rng.randrange(1000)}, "
+                           f"'t{rng.randrange(100)}', "
+                           f"{rng.randrange(1000) / 8.0})")
+                    client.query(sql)
+                    acked.append(sql)
+                    time.sleep(0.002)
+
+                # mid-write-load the case demands: give the puller a
+                # bounded moment to have applied *something*, then kill
+                # — deliberately NOT waiting for it to catch up fully
+                settle = time.monotonic() + min(2.0, wall_cap_s / 4)
+                while time.monotonic() < settle and \
+                        replica_db.durability.wal.durable_lsn == 0:
+                    time.sleep(0.01)
+            finally:
+                client.close()
+
+            old_epoch = primary_db.durability.epoch
+            # SIGKILL-shaped death: truncate to the durable watermark
+            # while the server still owns the database, then tear down
+            primary_db.durability.simulate_crash()
+            primary_server.stop()
+            primary_server = None
+
+            # promote the replica; repl.promote:crash may fire once
+            promoted = None
+            for _attempt in range(3):
+                try:
+                    with MClient(port=replica_server.port, timeout=5.0,
+                                 retries=0, retry_seed=seed) as pclient:
+                        promoted = pclient.promote(
+                            deadline_s=wall_cap_s / 2)
+                    break
+                except ReproError as exc:
+                    outcome, error = "typed-error", repr(exc)
+            if promoted is None or not promoted.get("promoted"):
+                violations.append(
+                    f"replica never promoted: {error or promoted!r}")
+            elif int(promoted.get("epoch", 0)) <= old_epoch:
+                violations.append(
+                    f"promotion did not bump the epoch "
+                    f"({promoted.get('epoch')} <= {old_epoch})")
+
+            # the promoted node's state must be byte-identical to a
+            # clean prefix of what the primary acknowledged
+            shadow = Database()
+            try:
+                prefixes = [catalog_canonical_bytes(shadow.catalog)]
+                for sql in acked:
+                    shadow.execute(sql)
+                    prefixes.append(
+                        catalog_canonical_bytes(shadow.catalog))
+                state = catalog_canonical_bytes(replica_db.catalog)
+                if state not in prefixes:
+                    violations.append(
+                        "promoted replica state is not a clean acked "
+                        "prefix")
+                elif prefixes.index(state) == 0 and len(acked) > 5:
+                    violations.append(
+                        "promoted replica replicated nothing despite a "
+                        "settled puller")
+            finally:
+                shadow.close()
+
+            # the promoted node serves reads and accepts writes
+            try:
+                with MClient(port=replica_server.port, timeout=5.0,
+                             retries=0, retry_seed=seed) as rclient:
+                    rclient.query("select count(*) from chaos_r")
+                    rclient.query("insert into chaos_r values "
+                                  "(1, 'post', 1.0)")
+            except ReproError as exc:
+                violations.append(
+                    f"promoted replica not serving: {exc!r}")
+
+            # fencing: resurrect the old primary from its directory —
+            # still believing it is the primary at the old epoch
+            revived_db = Database(wal_dir=primary_dir,
+                                  commit_window_ms=0.0)
+            revived_server = Mserver(revived_db).start()
+            # the fencing probes call handle_sync directly — arm an
+            # empty plan so injected stream faults don't fire on the
+            # assertion itself (they already had their shot above)
+            with armed(FaultPlan(seed=seed)):
+                revived_mgr = ReplicationManager(
+                    revived_server,
+                    addr=f"127.0.0.1:{revived_server.port}")
+                revived_server.replication = revived_mgr.start()
+                new_epoch = replica_db.durability.epoch
+                # (a) a follower rejects the deposed primary's stream
+                stale = revived_mgr.handle_sync(
+                    {"from_lsn": 0, "epoch": 0, "follower": "probe"})
+                try:
+                    replica_mgr._check_epoch(stale)
+                    violations.append(
+                        "follower accepted a stale-epoch stream")
+                except ReplicationFencedError:
+                    pass
+                # (b) first contact with the new epoch deposes it
+                try:
+                    revived_mgr.handle_sync(
+                        {"from_lsn": 0, "epoch": new_epoch,
+                         "follower": replica_addr})
+                    violations.append(
+                        "deposed primary served a higher-epoch peer")
+                except ReplicationFencedError:
+                    pass
+                if revived_mgr.accepts_writes():
+                    violations.append(
+                        "deposed primary still accepts writes "
+                        "(split-brain)")
+                else:
+                    try:
+                        with MClient(port=revived_server.port,
+                                     timeout=5.0, retries=0,
+                                     retry_seed=seed) as wclient:
+                            wclient.query("insert into chaos_r values "
+                                          "(2, 'ghost', 2.0)")
+                        violations.append(
+                            "deposed primary accepted a ghost write")
+                    except ReadOnlyReplicaError:
+                        pass
+            revived_server.stop()
+            revived_server = None
+
+            replica_server.stop()
+            replica_server = None
+    except ReproError as exc:
+        outcome, error = "typed-error", repr(exc)
+        violations.append(f"typed error escaped the harness: {exc!r}")
+    finally:
+        for server in (primary_server, replica_server, revived_server):
+            if server is not None:
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+        shutil.rmtree(primary_dir, ignore_errors=True)
+        shutil.rmtree(replica_dir, ignore_errors=True)
+    wall_s = time.monotonic() - began
+    if wall_s >= wall_cap_s:
+        violations.append(f"case ran {wall_s:.1f}s >= cap {wall_cap_s}s")
+    if not acked:
+        violations.append("no statement was ever acknowledged")
+    return CaseResult(
+        seed=seed, mix="replication-chaos", ok=not violations,
+        wall_s=wall_s, outcome=outcome, error=error,
         fault_fires=len(plan.journal), journal=list(plan.journal),
         violations=violations,
     )

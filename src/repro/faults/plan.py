@@ -20,6 +20,8 @@ site                   actions
 ``persist.wal``        ``torn-write``, ``fsync-loss``, ``latency`` (ms)
 ``persist.checkpoint`` ``partial-manifest``, ``crash-before-rename``
 ``persist.recover``    ``corrupt-record``
+``repl.stream``        ``drop``, ``latency`` (ms), ``partition`` (ms)
+``repl.promote``       ``crash``
 =====================  =============================================
 
 Plans are *armed* globally through the module-level :data:`ACTIVE`
@@ -49,6 +51,8 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "persist.wal": ("torn-write", "fsync-loss", "latency"),
     "persist.checkpoint": ("partial-manifest", "crash-before-rename"),
     "persist.recover": ("corrupt-record",),
+    "repl.stream": ("drop", "latency", "partition"),
+    "repl.promote": ("crash",),
 }
 
 

@@ -288,6 +288,74 @@ PERSIST_TORN_RECORDS_DROPPED = REGISTRY.counter(
 )
 
 # --------------------------------------------------------------------------
+# repro.replication — WAL shipping, read replicas and failover
+# --------------------------------------------------------------------------
+
+REPL_ROLE = REGISTRY.gauge(
+    "repro_repl_role",
+    "This node's replication role: 1 when primary, 0 when replica. "
+    "Labelled by the node's advertised address (several nodes may "
+    "share one process under test).",
+    labels=("node",),
+)
+
+REPL_EPOCH = REGISTRY.gauge(
+    "repro_repl_epoch",
+    "The replication epoch persisted in the node's WAL directory. "
+    "Promotion bumps it; a stream carrying a lower epoch is fenced.",
+    labels=("node",),
+)
+
+REPL_LAG_RECORDS = REGISTRY.gauge(
+    "repro_repl_lag_records",
+    "How many committed WAL records the replica still has to apply "
+    "(primary durable LSN minus replica durable LSN).",
+    labels=("node",),
+    unit="records",
+)
+
+REPL_LAG_BYTES = REGISTRY.gauge(
+    "repro_repl_lag_bytes",
+    "Committed WAL bytes the replica has not yet applied, as of the "
+    "last sync response.",
+    labels=("node",),
+    unit="bytes",
+)
+
+REPL_LAG_SECONDS = REGISTRY.gauge(
+    "repro_repl_lag_seconds",
+    "Seconds since the replica last heard from its primary. The "
+    "heartbeat-timeout election fires off this clock.",
+    labels=("node",),
+    unit="seconds",
+)
+
+REPL_RECORDS_APPLIED = REGISTRY.counter(
+    "repro_repl_records_applied_total",
+    "WAL records received from the primary and applied through the "
+    "recovery path, by kind (ddl, insert).",
+    labels=("kind",),
+    unit="records",
+)
+
+REPL_FENCED = REGISTRY.counter(
+    "repro_repl_fenced_total",
+    "Replication messages rejected by epoch fencing, by side (follower: "
+    "a deposed primary's stream carried a stale epoch; primary: a "
+    "request proved this node was deposed).",
+    labels=("side",),
+    unit="messages",
+)
+
+REPL_FAILOVERS = REGISTRY.counter(
+    "repro_repl_failovers_total",
+    "Promotions to primary, by trigger (manual: the promote verb; "
+    "auto: heartbeat-timeout election).",
+    labels=("trigger",),
+    unit="promotions",
+)
+
+# --------------------------------------------------------------------------
 # repro.profiler.stream — the UDP trace stream
 # --------------------------------------------------------------------------
 

@@ -13,6 +13,15 @@ lifecycle error they encode (``QueryCancelledError``,
 with the server-assigned ``query_id`` attached.  Overload sheds get
 their own retry classification: the query never ran, so it is safe to
 re-send after backoff — without reconnecting — even for writes.
+
+Replication-aware routing (``peers=[...]``): the client probes the
+peer set's ``repl.status``, sends writes to the primary and
+load-balances SELECTs across replicas.  A write answered with
+:class:`~repro.errors.ReadOnlyReplicaError` (the topology changed under
+us) re-resolves the primary — following the error's ``primary`` hint
+when it carries one — and re-sends: the rejected write never executed,
+so this is safe even for non-retryable statements.  Connection losses
+likewise re-resolve through the same backoff machinery.
 """
 
 from __future__ import annotations
@@ -20,11 +29,12 @@ from __future__ import annotations
 import random
 import socket
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     ConnectionFailedError,
     ConnectionLostError,
+    ReadOnlyReplicaError,
     ReproError,
     RequestTimeoutError,
     ServerError,
@@ -37,6 +47,38 @@ from repro.server.protocol import (
     encode_message,
     error_from_payload,
 )
+
+
+def _probe_status(addr: str, timeout: float = 0.75
+                  ) -> Optional[Dict[str, Any]]:
+    """One-shot ``repl.status`` probe of ``"host:port"``.
+
+    Deliberately not an :class:`MClient`: no retries, no handshake, one
+    bounded connect + one request — routing probes a whole peer set and
+    must stay cheap even when half of it is down.  None on any failure.
+    """
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host:
+        return None
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    try:
+        with socket.create_connection((host, port),
+                                      timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(encode_message({"op": "repl.status"}))
+            buffer = b""
+            while b"\n" not in buffer:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return None
+                buffer += chunk
+        response = decode_message(buffer.split(b"\n", 1)[0])
+        return response if response.get("ok") else None
+    except (ReproError, OSError, ValueError):
+        return None
 
 
 class MClient:
@@ -60,6 +102,13 @@ class MClient:
             reproducible under test.
         handshake: ping the server during construction; on failure the
             socket is closed and ``ConnectionFailedError`` raised.
+        peers: ``"host:port"`` addresses of a replicated topology.  When
+            non-empty the client routes by role — SELECTs to a replica,
+            everything else to the primary — re-resolving on failover.
+            The constructor's ``host``/``port`` remain the first
+            connection; routing moves it as needed.
+        route_ttl_s: how long one round of status probes stays fresh
+            before routing re-probes the peer set.
     """
 
     class Result:
@@ -79,7 +128,9 @@ class MClient:
                  backoff_base_s: float = 0.05, backoff_max_s: float = 1.0,
                  deadline_s: Optional[float] = None,
                  retry_seed: Optional[int] = None,
-                 handshake: bool = False) -> None:
+                 handshake: bool = False,
+                 peers: Optional[Sequence[str]] = None,
+                 route_ttl_s: float = 1.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -87,6 +138,10 @@ class MClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.deadline_s = deadline_s
+        self.peers: List[str] = list(peers or [])
+        self.route_ttl_s = route_ttl_s
+        self._routes: Optional[Dict[str, Any]] = None
+        self._routes_at = 0.0
         self._rng = random.Random(retry_seed)
         self._socket: Optional[socket.socket] = None
         self._buffer = b""
@@ -107,10 +162,13 @@ class MClient:
     # ------------------------------------------------------------------
     # connection management
 
-    def _connect(self) -> None:
+    def _connect(self, deadline: Optional[float] = None) -> None:
+        # the connect timeout is capped by the caller's deadline (via
+        # _slice, which raises RequestTimeoutError once it is spent) —
+        # a default 30s socket timeout must never outlive a 0.5s budget
         try:
             self._socket = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
+                (self.host, self.port), timeout=self._slice(deadline))
         except OSError as exc:
             self._socket = None
             raise ConnectionFailedError(
@@ -127,13 +185,75 @@ class MClient:
             self._socket = None
         self._buffer = b""
 
-    def _reconnect(self) -> None:
+    def _reconnect(self, deadline: Optional[float] = None) -> None:
         self._teardown()
-        self._connect()
+        self._connect(deadline)
         # replay session state (pipeline, workers, profiler target) so
-        # the fresh connection behaves like the one that died
+        # the fresh connection behaves like the one that died — under
+        # the caller's deadline: replays against a stalled server must
+        # fail fast, not sleep out the whole socket timeout
         for request in self._session_state.values():
-            self._call_once(dict(request), deadline=None)
+            self._call_once(dict(request), deadline=deadline)
+
+    # -- replication-aware routing --------------------------------------
+
+    def _refresh_routes(self) -> None:
+        """One probe round over the peer set → primary + replica lists."""
+        primary: Optional[str] = None
+        hinted: Optional[str] = None
+        replicas: List[str] = []
+        for addr in self.peers:
+            status = _probe_status(addr, timeout=min(self.timeout, 0.75))
+            if status is None:
+                continue
+            role = status.get("role")
+            if role in ("primary", "standalone"):
+                primary = primary or addr
+            elif role == "replica":
+                replicas.append(addr)
+                hinted = hinted or str(status.get("primary", "")) or None
+        if primary is None and hinted and hinted not in self.peers:
+            # every probed node is a replica but one names its primary
+            status = _probe_status(hinted, timeout=min(self.timeout, 0.75))
+            if status is not None and status.get("role") == "primary":
+                primary = hinted
+        self._routes = {"primary": primary, "replicas": replicas}
+        self._routes_at = time.monotonic()
+
+    def _resolve(self, role: str, refresh: bool = False) -> Optional[str]:
+        """The address to talk to for ``role`` ("primary"/"replica")."""
+        if not self.peers:
+            return None
+        stale = self._routes is None or \
+            time.monotonic() - self._routes_at > self.route_ttl_s
+        if refresh or stale:
+            self._refresh_routes()
+        assert self._routes is not None
+        if role == "replica" and self._routes["replicas"]:
+            return self._rng.choice(self._routes["replicas"])
+        return self._routes["primary"]
+
+    def _ensure_route(self, role: str, deadline: Optional[float],
+                      refresh: bool = False) -> None:
+        """Point the connection at a node serving ``role``.
+
+        Unknown topology (all probes failed) keeps the current
+        connection — the request itself will surface the failure.
+        """
+        addr = self._resolve(role, refresh=refresh)
+        if addr is None:
+            return
+        host, _, port_text = addr.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ConnectionFailedError(
+                f"bad peer address {addr!r}: want host:port") from None
+        if self._socket is not None and \
+                (host, port) == (self.host, self.port):
+            return
+        self.host, self.port = host, port
+        self._reconnect(deadline)
 
     @staticmethod
     def _state_key(request: Dict[str, Any]) -> Optional[str]:
@@ -151,7 +271,8 @@ class MClient:
 
     def _call(self, request: Dict[str, Any],
               deadline_s: Optional[float] = None,
-              retryable: bool = True) -> Dict[str, Any]:
+              retryable: bool = True,
+              route: Optional[str] = None) -> Dict[str, Any]:
         if self._subscription is not None:
             raise ServerError(
                 "a subscription is active on this connection; stop() it "
@@ -160,13 +281,41 @@ class MClient:
         deadline = None if budget is None else time.monotonic() + budget
         op = str(request.get("op", "?"))
         attempt = 0
+        if route is not None and self.peers:
+            try:
+                self._ensure_route(route, deadline)
+            except RequestTimeoutError:
+                raise
+            except (ReproError, OSError):
+                pass  # routing is best-effort; the request surfaces it
         while True:
             try:
                 if self._socket is None:
-                    self._connect()
+                    self._connect(deadline)
                 response = self._call_once(request, deadline)
             except RequestTimeoutError:
                 raise
+            except ReadOnlyReplicaError as exc:
+                # our primary view is stale (a failover happened): the
+                # rejected write never executed, so re-resolving and
+                # re-sending is safe even for non-retryable statements
+                attempt += 1
+                if not self.peers or attempt > self.retries:
+                    raise
+                CLIENT_RETRIES.labels(op=op).inc()
+                if exc.primary:
+                    self._routes = {"primary": exc.primary,
+                                    "replicas": []}
+                    self._routes_at = time.monotonic()
+                else:
+                    self._routes = None
+                try:
+                    self._ensure_route("primary", deadline, refresh=False)
+                except RequestTimeoutError:
+                    raise
+                except (ReproError, OSError):
+                    pass
+                continue
             except ServerOverloadedError as exc:
                 # the shed query never ran, so re-sending is safe even
                 # for writes — back off on the same connection and let
@@ -212,9 +361,18 @@ class MClient:
                     ) from exc
                 time.sleep(delay)
                 try:
-                    self._reconnect()
+                    if route is not None and self.peers:
+                        # the node may be gone for good (failover):
+                        # re-probe the topology instead of hammering it
+                        self._ensure_route(route, deadline, refresh=True)
+                        if self._socket is None:
+                            self._reconnect(deadline)
+                    else:
+                        self._reconnect(deadline)
+                except RequestTimeoutError:
+                    raise
                 except (ConnectionFailedError, ConnectionLostError,
-                        RequestTimeoutError, OSError):
+                        OSError):
                     continue  # charged as the next attempt
                 continue
             key = self._state_key(request)
@@ -301,8 +459,12 @@ class MClient:
         if max_rss_bytes is not None:
             request["max_rss_bytes"] = max_rss_bytes
         retryable = sql.lstrip()[:6].lower().startswith("select")
+        route = None
+        if self.peers:
+            route = "replica" if retryable else "primary"
         return MClient.Result(self._call(request, deadline_s=deadline_s,
-                                         retryable=retryable))
+                                         retryable=retryable,
+                                         route=route))
 
     def cancel(self, query_id: str) -> bool:
         """Cancel a running query by its server-assigned id.
@@ -326,6 +488,22 @@ class MClient:
     def dot(self, sql: str) -> str:
         """The optimized plan's dot file of a SELECT."""
         return self._call({"op": "dot", "sql": sql})["dot"]
+
+    def repl_status(self) -> Dict[str, Any]:
+        """The connected node's replication status (``repl.status``)."""
+        return self._call({"op": "repl.status"})
+
+    def repl_sync(self, **fields: Any) -> Dict[str, Any]:
+        """One replication pull (``repl.sync``) — used by replicas'
+        puller threads; exposed for tooling and tests."""
+        return self._call({"op": "repl.sync", **fields},
+                          retryable=False)
+
+    def promote(self,
+                deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Promote the connected node to primary (``repl.promote``)."""
+        return self._call({"op": "repl.promote"},
+                          deadline_s=deadline_s, retryable=False)
 
     def set_pipeline(self, name: str) -> None:
         """Choose the optimizer pipeline for subsequent queries."""

@@ -353,6 +353,34 @@ class Database:
         self.catalog.invalidate()
         self.plan_cache.clear()
 
+    def swap_catalog(self, catalog: Catalog) -> None:
+        """Replace the live catalog wholesale (replication only).
+
+        Used when a node's state is rebuilt from disk — a replica
+        installing a bootstrap snapshot, or a promotion re-running
+        recovery.  The compiler binds to the new catalog and every
+        cached plan is dropped; in-flight reads keep executing against
+        the old catalog object they already resolved, exactly like a
+        read racing a concurrent write.
+        """
+        self.catalog = catalog
+        self.compiler = SqlCompiler(catalog)
+        self.plan_cache.clear()
+
+    def install_replica_snapshot(self, catalog: Catalog, lsn: int) -> None:
+        """Adopt a bootstrap checkpoint shipped from the primary.
+
+        The checkpoint directory for ``lsn`` must already be valid on
+        disk (the replication layer lands and CRC-verifies it first);
+        this swaps it into both the durable engine and the execution
+        surface atomically with respect to the write path.
+        """
+        if self.durability is None:
+            raise StorageError(
+                "snapshot install requires a durable database")
+        self.durability.install_snapshot(catalog, lsn)
+        self.swap_catalog(catalog)
+
     def compile(self, sql: str, pipeline_name: Optional[str] = None,
                 workers: Optional[int] = None) -> MalProgram:
         """Compile a SELECT to its optimized MAL plan.

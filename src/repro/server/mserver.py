@@ -38,7 +38,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
-from repro.errors import ReproError, ServerError
+from repro.errors import ReadOnlyReplicaError, ReproError, ServerError
 from repro.faults.plan import ACTIVE
 from repro.mal.optimizer import pipeline_by_name
 from repro.metrics import snapshot as metrics_snapshot
@@ -142,6 +142,10 @@ class Mserver:
         self._stopping = threading.Event()
         self._conns_lock = threading.Lock()
         self._conns: Dict[int, "_Connection"] = {}
+        #: the node's :class:`~repro.replication.ReplicationManager`,
+        #: attached after :meth:`start` (it advertises the bound port);
+        #: None on standalone servers.
+        self.replication: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -213,6 +217,8 @@ class Mserver:
         budget = self.drain_seconds if drain_seconds is None \
             else drain_seconds
         self._stopping.set()
+        if self.replication is not None:
+            self.replication.stop()
         self.admission.begin_drain()
         loop = self._loop
 
@@ -450,7 +456,10 @@ class _Connection:
             return self._handle_subscribe(request)
         if op == "unsubscribe":
             return await self._handle_unsubscribe()
-        if op in ("query", "explain", "dot"):
+        if op in ("query", "explain", "dot",
+                  "repl.status", "repl.sync", "repl.promote"):
+            # repl verbs offload too: sync reads WAL bytes from disk and
+            # promote re-runs recovery — neither belongs on the loop
             loop = asyncio.get_event_loop()
             return await loop.run_in_executor(
                 self.server._executor,
@@ -622,6 +631,8 @@ class _ClientSession:
             return {"ok": True,
                     "queries": self.server.registry.list(),
                     "recent": self.server.registry.recent()}
+        if op in ("repl.status", "repl.sync", "repl.promote"):
+            return self._handle_repl(op, request)
         # explain/dot/stats never enter admission, so they stay
         # responsive while the execution slots are busy
         if op == "explain":
@@ -671,6 +682,31 @@ class _ClientSession:
         )
         return {"ok": True}
 
+    def _handle_repl(self, op: str, request: Dict) -> Dict:
+        manager = self.server.replication
+        if manager is None:
+            if op == "repl.status":
+                # standalone servers still answer status probes, so
+                # tooling can tell "not replicated" from "unreachable"
+                durability = self.server.database.durability
+                return {
+                    "ok": True, "role": "standalone", "addr": "",
+                    "primary": "", "peers": [],
+                    "epoch": durability.epoch if durability else 0,
+                    "durable_lsn":
+                        durability.wal.durable_lsn if durability else 0,
+                    "checkpoint_lsn":
+                        durability.checkpoint_lsn if durability else 0,
+                }
+            raise ServerError(
+                f"{op} requires replication; start the server with "
+                f"--replicate-from or --peers")
+        if op == "repl.status":
+            return manager.status()
+        if op == "repl.sync":
+            return manager.handle_sync(request)
+        return manager.handle_promote(request)
+
     def _handle_cancel(self, request: Dict) -> Dict:
         query_id = str(request.get("query_id", ""))
         verdict = self.server.registry.cancel(query_id, source="client")
@@ -686,6 +722,13 @@ class _ClientSession:
             rss_budget_bytes=request.get("max_rss_bytes"))
         head = sql.lstrip()[:8].lower()
         exclusive = not head.startswith(_READ_HEADS)
+        replication = server.replication
+        if exclusive and replication is not None and \
+                not replication.accepts_writes():
+            server.registry.finish(context, "failed")
+            raise ReadOnlyReplicaError(
+                "this node is a read-only replica; send writes to the "
+                "primary", primary=replication.primary_hint())
         state = "failed"
         began = time.perf_counter()
         try:

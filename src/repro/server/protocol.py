@@ -32,6 +32,13 @@ One JSON object per line in each direction.  Requests carry an ``op``:
 ``unsubscribe``  detach from the hub → delivery summary (``delivered``,
              ``dropped``, ``missed``)
 ``quit``     close the connection
+``repl.status``  replication snapshot → role, epoch, durable LSN,
+             primary address, lag (see ``docs/operations.md`` §11)
+``repl.sync``  follower pull: committed WAL records past ``from_lsn``
+             (or a checkpoint bootstrap for lagging followers),
+             fenced by ``epoch``
+``repl.promote``  promote this server to primary: bump the epoch and
+             truncate any unacked divergent tail
 ===========  ==========================================================
 
 Error responses are ``{"ok": false, "error": msg}`` plus an optional
@@ -58,6 +65,8 @@ from repro.errors import (
     QueryBudgetError,
     QueryCancelledError,
     QueryDeadlineError,
+    ReadOnlyReplicaError,
+    ReplicationFencedError,
     ReproError,
     ServerError,
     ServerOverloadedError,
@@ -72,6 +81,7 @@ _DATE_TAG = "@date:"
 VERBS = (
     "ping", "query", "cancel", "queries", "explain", "dot", "set",
     "profiler", "stats", "subscribe", "unsubscribe", "quit",
+    "repl.status", "repl.sync", "repl.promote",
 )
 
 #: Upper bound on one protocol line.  A peer that buffers more than
@@ -123,6 +133,8 @@ _ERROR_CODES = (
     ("overloaded", ServerOverloadedError),
     ("worker-crash", WorkerCrashError),
     ("ship-corrupt", PartitionShipError),
+    ("read-only-replica", ReadOnlyReplicaError),
+    ("repl-fenced", ReplicationFencedError),
 )
 _CODE_TO_ERROR = {code: cls for code, cls in _ERROR_CODES}
 
@@ -146,6 +158,9 @@ def error_payload(exc: BaseException) -> Dict[str, Any]:
     query_id = getattr(exc, "query_id", "")
     if query_id:
         payload["query_id"] = query_id
+    primary = getattr(exc, "primary", "")
+    if primary:
+        payload["primary"] = primary
     return payload
 
 
@@ -157,6 +172,8 @@ def error_from_payload(payload: Dict[str, Any]) -> ReproError:
         return ServerError(message)
     if issubclass(cls, QueryCancelledError):
         return cls(message, query_id=payload.get("query_id", ""))
+    if issubclass(cls, ReadOnlyReplicaError):
+        return cls(message, primary=payload.get("primary", ""))
     return cls(message)
 
 

@@ -295,12 +295,23 @@ class BAT:
 
     @classmethod
     def from_ship_bytes(cls, payload: bytes) -> "BAT":
-        """Rebuild a BAT from :meth:`to_ship_bytes` output."""
-        import pickle
+        """Rebuild a BAT from :meth:`to_ship_bytes` output.
 
+        Decodes with the restricted unpickler (ship payloads hold only
+        scalars, containers, and ``datetime.date``), so a corrupted or
+        hostile payload fails with a typed :class:`StorageError`
+        instead of executing arbitrary reduces.
+        """
         from repro.storage.types import type_by_name
+        from repro.storage.unpickle import restricted_loads
 
-        type_name, tail, head, hseqbase = pickle.loads(payload)
+        try:
+            type_name, tail, head, hseqbase = restricted_loads(payload)
+        except StorageError:
+            raise
+        except Exception as exc:
+            raise StorageError(
+                f"undecodable ship payload: {exc}") from None
         out = cls(type_by_name(type_name), hseqbase=hseqbase)
         out.tail = tail
         out.head = head

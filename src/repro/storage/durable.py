@@ -57,6 +57,7 @@ from repro.metrics.families import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.types import type_by_name
+from repro.storage.unpickle import restricted_loads
 
 #: WAL record header: ``<QII`` = lsn (8 bytes), payload length (4),
 #: CRC32 of the payload (4).  The payload is a pickled ``(kind, data)``.
@@ -65,6 +66,7 @@ _HEADER = struct.Struct("<QII")
 #: On-disk names inside a WAL directory.
 WAL_FILENAME = "wal.log"
 MANIFEST_FILENAME = "manifest.json"
+EPOCH_FILENAME = "epoch"
 _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})$")
 
 #: Checkpoint manifest format version.
@@ -88,6 +90,56 @@ def encode_record(lsn: int, kind: str, data: Any) -> bytes:
     """Serialize one WAL record (header + pickled payload)."""
     payload = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
     return _HEADER.pack(lsn, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Tuple[str, Any]:
+    """Decode one WAL record payload back to ``(kind, data)``.
+
+    Uses the restricted unpickler (WAL payloads hold only scalars,
+    containers, and ``datetime.date``), so corrupted or hostile bytes —
+    whether read from disk or received over the replication stream —
+    fail with a typed :class:`WalError` instead of executing
+    attacker-controlled reduces.
+    """
+    try:
+        kind, data = restricted_loads(payload)
+    except Exception as exc:
+        raise WalError(f"undecodable WAL record payload: {exc}") from None
+    if not isinstance(kind, str):
+        raise WalError(
+            f"malformed WAL record payload: kind is {type(kind).__name__}")
+    return kind, data
+
+
+# -- the replication epoch stamp -------------------------------------------
+
+def read_epoch(wal_dir: str) -> int:
+    """The replication epoch persisted in a WAL directory (0 if none)."""
+    try:
+        with open(os.path.join(wal_dir, EPOCH_FILENAME)) as handle:
+            return int(handle.read().strip() or "0")
+    except FileNotFoundError:
+        return 0
+    except (OSError, ValueError) as exc:
+        raise WalError(f"unreadable epoch stamp in {wal_dir}: {exc}") \
+            from None
+
+
+def write_epoch(wal_dir: str, epoch: int) -> None:
+    """Persist the replication epoch atomically (tmp + rename + fsync).
+
+    The stamp must never regress or tear: a promoted node's fencing
+    guarantee rests on every restart observing the highest epoch this
+    node ever acknowledged.
+    """
+    final = os.path.join(wal_dir, EPOCH_FILENAME)
+    tmp = final + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(f"{int(epoch)}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.rename(tmp, final)
+    _fsync_dir(wal_dir)
 
 
 # --------------------------------------------------------------------------
@@ -229,6 +281,40 @@ class WriteAheadLog:
             PERSIST_WAL_BYTES.inc(len(record))
             return lsn
 
+    def append_raw(self, lsn: int, kind: str, payload: bytes) -> int:
+        """Append a record at an explicit, primary-assigned LSN.
+
+        The replica apply path: ``payload`` is the already-pickled
+        ``(kind, data)`` bytes exactly as the primary logged them, so
+        the follower's WAL is byte-compatible with the primary's and
+        recovery replays it identically.  ``lsn`` must sort after every
+        record already written.  Durable only after :meth:`commit`.
+        """
+        with self._cond:
+            while self._pending_rollbacks and not self._closed:
+                self._cond.wait()
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            if self._poisoned:
+                raise WalError(
+                    "write-ahead log poisoned by a torn write; "
+                    "reopen (recover) to continue")
+            if lsn <= self._written_lsn:
+                raise WalError(
+                    f"replicated lsn {lsn} does not sort after the "
+                    f"local tail (written lsn {self._written_lsn})")
+            record = _HEADER.pack(lsn, len(payload),
+                                  zlib.crc32(payload)) + payload
+            os.pwrite(self._fd, record, self._written_bytes)
+            self._written_bytes += len(record)
+            self._written_lsn = lsn
+            self._next_lsn = lsn + 1
+            self._unsynced.append(lsn)
+            self.appends += 1
+            PERSIST_WAL_APPENDS.labels(kind=kind).inc()
+            PERSIST_WAL_BYTES.inc(len(record))
+            return lsn
+
     def commit(self, lsn: int) -> None:
         """Block until ``lsn`` is durable (group commit).
 
@@ -327,6 +413,48 @@ class WriteAheadLog:
             self._unsynced.clear()
             self._poisoned = False
 
+    def truncate_to_durable(self) -> int:
+        """Drop the written-but-unsynced tail (promotion prologue).
+
+        Exactly what crash recovery would do to these records: they
+        were never acknowledged durable, so a replica promoting itself
+        cuts them off rather than promoting a tail its deposed primary
+        may never have committed.  Returns the number of records
+        dropped.  Clears torn-write poisoning along with the tail.
+        """
+        with self._cond:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            dropped = len(self._unsynced)
+            os.ftruncate(self._fd, self._durable_bytes)
+            os.fsync(self._fd)
+            self._written_bytes = self._durable_bytes
+            self._written_lsn = self._durable_lsn
+            self._next_lsn = self._durable_lsn + 1
+            self._unsynced.clear()
+            self._poisoned = False
+            return dropped
+
+    def reset_to(self, lsn: int) -> None:
+        """Empty the log and restart LSNs after ``lsn`` (bootstrap).
+
+        Used when a follower installs a checkpoint snapshot shipped by
+        the primary: the local history before ``lsn`` is superseded by
+        the snapshot, and subsequent records continue at primary LSNs.
+        """
+        with self._cond:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            os.ftruncate(self._fd, 0)
+            os.fsync(self._fd)
+            self._written_bytes = 0
+            self._durable_bytes = 0
+            self._written_lsn = int(lsn)
+            self._durable_lsn = int(lsn)
+            self._next_lsn = int(lsn) + 1
+            self._unsynced.clear()
+            self._poisoned = False
+
     def simulate_crash(self, keep_bytes: Optional[int] = None) -> int:
         """Test hook: die abruptly, keeping an arbitrary prefix.
 
@@ -413,8 +541,8 @@ def scan_wal(path: str) -> WalScan:
             scan.torn = True
             break
         try:
-            kind, data = pickle.loads(payload)
-        except Exception:
+            kind, data = decode_payload(payload)
+        except WalError:
             scan.torn = True
             break
         if plan is not None:
@@ -431,6 +559,54 @@ def scan_wal(path: str) -> WalScan:
         if offset < len(blob):
             scan.torn = True
     return scan
+
+
+def read_wal_records(path: str, from_lsn: int, durable_bytes: int,
+                     limit_bytes: int = 256 * 1024
+                     ) -> Tuple[List[Tuple[int, bytes]], bool, int]:
+    """The log-follower cursor: committed records past a position.
+
+    Reads the WAL file's durable prefix (``durable_bytes`` — never the
+    unsynced tail, which could still be rolled back) and returns
+    ``(records, more, pending_bytes)`` where ``records`` is
+    ``[(lsn, payload), ...]`` for every record with ``lsn > from_lsn``,
+    raw payload bytes exactly as written, capped at roughly
+    ``limit_bytes`` of payload per call.  ``more`` is True when the cap
+    stopped the read early, and ``pending_bytes`` counts the payload
+    bytes left beyond the cap (a follower's byte lag after applying
+    this batch).  CRCs are verified — a mismatch inside the durable
+    prefix means the file was damaged underneath us and raises
+    :class:`WalError`.
+    """
+    records: List[Tuple[int, bytes]] = []
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read(durable_bytes)
+    except FileNotFoundError:
+        return records, False, 0
+    offset = 0
+    taken = 0
+    pending = 0
+    capped = False
+    while offset + _HEADER.size <= len(blob):
+        lsn, length, crc = _HEADER.unpack_from(blob, offset)
+        end = offset + _HEADER.size + length
+        if end > len(blob):
+            break
+        payload = blob[offset + _HEADER.size:end]
+        if zlib.crc32(payload) != crc:
+            raise WalError(
+                f"CRC mismatch at offset {offset} inside the durable "
+                f"prefix of {path}")
+        if lsn > from_lsn:
+            if capped or (records and taken + len(payload) > limit_bytes):
+                capped = True
+                pending += len(payload)
+            else:
+                records.append((lsn, payload))
+                taken += len(payload)
+        offset = end
+    return records, capped, pending
 
 
 # --------------------------------------------------------------------------
@@ -835,6 +1011,13 @@ class DurableEngine:
                                  commit_window_ms=commit_window_ms,
                                  last_lsn=self.report.last_lsn)
         self._since_checkpoint = 0
+        #: WAL position of the newest on-disk checkpoint — records at or
+        #: below this are only reachable through the checkpoint (the WAL
+        #: was truncated), so a follower behind it needs a bootstrap.
+        self.checkpoint_lsn = self.report.checkpoint_lsn
+        #: Replication epoch persisted in the WAL dir (0 = never part of
+        #: a replicated topology, or the first primary of one).
+        self.epoch = read_epoch(wal_dir)
 
     # -- the write pipeline ---------------------------------------------
 
@@ -888,6 +1071,7 @@ class DurableEngine:
             PERSIST_CHECKPOINTS.labels(outcome="ok").inc()
             self.wal.truncate()
             self._since_checkpoint = 0
+            self.checkpoint_lsn = report.lsn
             prune_checkpoints(self.wal_dir)
             return report
 
@@ -897,6 +1081,43 @@ class DurableEngine:
         baseline is durable before the first statement runs."""
         self.catalog = catalog
         return self.checkpoint()
+
+    def install_snapshot(self, catalog: Catalog, lsn: int) -> None:
+        """Adopt a bootstrap snapshot a primary shipped as of ``lsn``.
+
+        The caller must already have landed a valid on-disk checkpoint
+        at ``lsn`` in this WAL directory (the replication bootstrap
+        writes the shipped column files through the normal tmp + rename
+        path and validates them with :func:`load_checkpoint`) — this
+        method only swaps the catalog in and restarts the WAL after
+        ``lsn``, so a crash at any point recovers to either the old or
+        the new snapshot, never a mix.
+        """
+        with self.order_lock:
+            self.catalog = catalog
+            self.wal.reset_to(lsn)
+            self.checkpoint_lsn = lsn
+            self._since_checkpoint = 0
+            prune_checkpoints(self.wal_dir)
+
+    # -- replication epochs ----------------------------------------------
+
+    def adopt_epoch(self, epoch: int) -> int:
+        """Persist ``epoch`` if it is newer than ours; returns the
+        current epoch.  Epochs never regress."""
+        if epoch > self.epoch:
+            write_epoch(self.wal_dir, epoch)
+            self.epoch = epoch
+        return self.epoch
+
+    def bump_epoch(self, above: int = 0) -> int:
+        """Mint and persist a new epoch strictly greater than both our
+        own and ``above`` (the highest epoch learned from peers) —
+        promotion's fencing token."""
+        new_epoch = max(self.epoch, above) + 1
+        write_epoch(self.wal_dir, new_epoch)
+        self.epoch = new_epoch
+        return new_epoch
 
     # -- lifecycle -------------------------------------------------------
 

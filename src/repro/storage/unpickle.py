@@ -1,0 +1,53 @@
+"""Restricted unpickling for durable and shipped payloads.
+
+WAL records, checkpoint column files, and partition ship payloads are
+pickled, and after PR 9 those bytes also travel the network (WAL
+shipping to replicas).  Plain :func:`pickle.loads` would execute any
+``__reduce__`` a corrupted or hostile payload smuggles in; this module
+restricts the unpickler to the exact globals the write side ever emits
+— container/scalar builtins need no global lookup, so the allowlist is
+just :class:`datetime.date` (date-typed column tails and date literals
+in INSERT rows).
+
+Anything else fails with :class:`pickle.UnpicklingError`; callers wrap
+that into their typed error (:class:`~repro.errors.WalError`,
+:class:`~repro.errors.CheckpointError`,
+:class:`~repro.errors.PartitionShipError`).
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import pickle
+from typing import Any
+
+#: The only globals a durable payload may reference.  Everything the
+#: engine persists is built from JSON-ish scalars and containers plus
+#: ``datetime.date`` — extend this (deliberately, with review) if a new
+#: atom type ever needs a global.
+_ALLOWED = {
+    ("datetime", "date"): datetime.date,
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """An unpickler whose global lookups hit a closed allowlist."""
+
+    def find_class(self, module: str, name: str) -> Any:
+        try:
+            return _ALLOWED[(module, name)]
+        except KeyError:
+            raise pickle.UnpicklingError(
+                f"global {module}.{name} is forbidden in durable "
+                f"payloads") from None
+
+
+def restricted_loads(payload: bytes) -> Any:
+    """Deserialize ``payload`` with the restricted unpickler.
+
+    Raises:
+        pickle.UnpicklingError: the payload references a global outside
+            the allowlist (or is otherwise malformed pickle).
+    """
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()

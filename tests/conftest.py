@@ -28,6 +28,7 @@ _GUARDED_MODULES = (
     "test_mpool",
     "test_parallel_parity",
     "test_durability",
+    "test_replication",
 )
 
 

@@ -87,7 +87,7 @@ class TestProseMatchesCode:
     """The docs-consistency gate: names in prose must exist in code."""
 
     MODULE_PATH = re.compile(r"`(repro(?:\.[A-Za-z_]\w*)+)")
-    CLI_COMMAND = re.compile(r"python -m repro ([a-z]\w*)")
+    CLI_COMMAND = re.compile(r"python -m repro ([a-z][\w-]*)")
     METRIC_NAME = re.compile(r"\brepro_[a-z0-9_]+\b")
     MD_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
     FILE_PATH = re.compile(r"`([\w.-]+(?:/[\w.-]+)+\.(?:md|py))`")

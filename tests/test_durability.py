@@ -705,3 +705,152 @@ class TestDurabilityMetricsAndCli:
         out = Out()
         assert main(["recover", wal_dir], out=out) == 0
         assert "sys.t: 1 rows" in out.text
+
+    def test_recover_command_exits_nonzero_when_lossy(self, tmp_path):
+        from repro.cli import main
+        from repro.storage.durable import _HEADER
+
+        class Out:
+            text = ""
+
+            def write(self, chunk):
+                self.text += chunk
+
+            def flush(self):
+                pass
+
+        wal_dir = str(tmp_path)
+        db = _durable(tmp_path)
+        db.execute("create table t (a integer)")
+        db.execute("insert into t values (1)")
+        db.close()
+        # a torn tail: a well-formed header whose payload never landed
+        with open(os.path.join(wal_dir, "wal.log"), "ab") as handle:
+            handle.write(_HEADER.pack(99, 4096, 0) + b"xx")
+        out = Out()
+        # lossy recovery: the data that survived is intact, but scripts
+        # must see a distinct exit code, not a buried report line
+        assert main(["recover", wal_dir], out=out) == 3
+        assert "torn" in out.text
+        assert "sys.t: 1 rows" in out.text
+
+
+class _Evil:
+    """Pickles into a payload whose reduce would invoke ``os.system``."""
+
+    marker = ""
+
+    def __reduce__(self):
+        return (os.system, (f"touch {self.marker}",))
+
+
+class TestRestrictedUnpickle:
+    def _evil_payload(self, tmp_path):
+        import pickle as _pickle
+
+        _Evil.marker = str(tmp_path / "pwned")
+        return _pickle.dumps(_Evil(), protocol=_pickle.HIGHEST_PROTOCOL)
+
+    def test_hostile_wal_payload_raises_typed(self, tmp_path):
+        from repro.storage.durable import decode_payload
+
+        payload = self._evil_payload(tmp_path)
+        with pytest.raises(WalError):
+            decode_payload(payload)
+        assert not os.path.exists(str(tmp_path / "pwned"))
+
+    def test_hostile_wal_record_scans_as_torn(self, tmp_path):
+        import struct
+        import zlib
+
+        from repro.storage.durable import _HEADER
+
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, commit_window_ms=0.0)
+        wal.commit(wal.append("insert", {"i": 1}))
+        wal.close()
+        # a record with valid framing and CRC around hostile bytes: the
+        # restricted unpickler is the only thing standing between the
+        # scan and an attacker-controlled reduce
+        payload = self._evil_payload(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(_HEADER.pack(2, len(payload),
+                                      zlib.crc32(payload)) + payload)
+        scan = scan_wal(path)
+        assert scan.torn
+        assert [lsn for lsn, _k, _d in scan.records] == [1]
+        assert not os.path.exists(str(tmp_path / "pwned"))
+
+    def test_hostile_checkpoint_column_raises_typed(self, tmp_path):
+        import json
+        import zlib
+
+        db = _durable(tmp_path)
+        db.execute("create table t (a integer)")
+        db.execute("insert into t values (1)")
+        report = db.checkpoint()
+        db.close()
+        payload = self._evil_payload(tmp_path)
+        manifest_path = os.path.join(report.path, MANIFEST_FILENAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        column = manifest["schemas"][0]["tables"][0]["columns"][0]
+        # the attacker controls the whole directory, so the manifest
+        # CRC matches the hostile bytes — only the unpickler is left
+        column["crc32"] = zlib.crc32(payload)
+        with open(os.path.join(report.path, column["file"]), "wb") as handle:
+            handle.write(payload)
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(report.path)
+        assert not os.path.exists(str(tmp_path / "pwned"))
+
+
+class TestCheckpointWhileWriting:
+    def test_concurrent_checkpoints_lose_no_acked_row(self, tmp_path):
+        db = _durable(tmp_path, checkpoint_interval=10 ** 9)
+        db.execute("create table t (a integer)")
+        acked = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        errors = []
+
+        def writer(base):
+            i = 0
+            while not stop.is_set() and i < 150:
+                value = base * 100000 + i
+                try:
+                    db.execute(f"insert into t values ({value})")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                with lock:
+                    acked.append(value)
+                i += 1
+
+        threads = [threading.Thread(target=writer, args=(base,))
+                   for base in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(10):
+                db.checkpoint()
+                time.sleep(0.002)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not errors, errors
+        with lock:
+            acked_set = set(acked)
+        db.durability.simulate_crash()
+        db.close()
+        catalog, report = recover(str(tmp_path))
+        survived = set(
+            catalog.schema("sys").table("t").columns["a"].bat.tail)
+        assert acked_set <= survived, \
+            f"lost {sorted(acked_set - survived)[:5]}..."
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.endswith(".tmp") or name.endswith(".stale")]
+        assert not leftovers, leftovers
