@@ -19,9 +19,10 @@ Raw throughput numbers are machine-dependent, so the regression gate
 (``benchmarks/check_regression.py``) checks the *invariants* recorded
 in the results — every connection served, zero events lost, responses
 in order — rather than rates.  Running this file standalone prints a
-summary and writes ``BENCH_E10_connections.json`` into
-``benchmarks/artifacts/``; the committed copy in ``benchmarks/`` is the
-baseline the gate compares against.
+summary and writes ``e10_connections_fresh.json`` into
+``benchmarks/artifacts/``; the committed
+``benchmarks/BENCH_E10_connections.json`` is the baseline the gate
+compares against.
 """
 
 import json
@@ -199,7 +200,7 @@ def write_results(results, path):
 def test_e10_connection_scaling(artifacts):
     results = run_benchmarks()
     write_results(results,
-                  os.path.join(artifacts, "BENCH_E10_connections.json"))
+                  os.path.join(artifacts, "e10_connections_fresh.json"))
     failures = check_invariants(results)
     assert not failures, "; ".join(failures)
 
@@ -209,7 +210,7 @@ def main():
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     write_results(results,
                   os.path.join(ARTIFACT_DIR,
-                               "BENCH_E10_connections.json"))
+                               "e10_connections_fresh.json"))
     conn = results["connections"]
     pipe = results["pipelining"]
     fan = results["fanout"]
@@ -224,7 +225,7 @@ def main():
     for name, held in sorted(results["invariants"].items()):
         print(f"invariant    {name}: {'ok' if held else 'VIOLATED'}")
     print(f"wrote "
-          f"{os.path.join(ARTIFACT_DIR, 'BENCH_E10_connections.json')}")
+          f"{os.path.join(ARTIFACT_DIR, 'e10_connections_fresh.json')}")
     return 0 if not check_invariants(results) else 1
 
 

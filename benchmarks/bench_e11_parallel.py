@@ -25,7 +25,7 @@ What is gated where:
   SIGKILLed worker by re-forking and answering the next query.
 
 Running this file standalone (``python benchmarks/bench_e11_parallel.py``)
-prints a summary and writes ``BENCH_E11_parallel.json`` into
+prints a summary and writes ``e11_parallel_fresh.json`` into
 ``benchmarks/artifacts/``; ``benchmarks/check_regression.py --only e11``
 compares a fresh run against the committed
 ``benchmarks/BENCH_E11_parallel.json``.
@@ -172,7 +172,7 @@ def write_results(results, path):
 def test_e11_partition_parallel(artifacts):
     results = run_benchmarks()
     write_results(results,
-                  os.path.join(artifacts, "BENCH_E11_parallel.json"))
+                  os.path.join(artifacts, "e11_parallel_fresh.json"))
     failures = list(check_invariants(results))
     assert not failures, failures
     assert results["modelled"]["speedup"] >= 2.5, (
@@ -184,7 +184,7 @@ def main():
     results = run_benchmarks()
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     write_results(results,
-                  os.path.join(ARTIFACT_DIR, "BENCH_E11_parallel.json"))
+                  os.path.join(ARTIFACT_DIR, "e11_parallel_fresh.json"))
     modelled = results["modelled"]
     measured = results["measured"]
     print(f"rows={results['rows']} cores={measured['cores']}")
@@ -197,7 +197,7 @@ def main():
               f"speedup={result['speedup']}x")
     for name, held in sorted(results["invariants"].items()):
         print(f"{name:26s} {'ok' if held else 'VIOLATED'}")
-    print(f"wrote {os.path.join(ARTIFACT_DIR, 'BENCH_E11_parallel.json')}")
+    print(f"wrote {os.path.join(ARTIFACT_DIR, 'e11_parallel_fresh.json')}")
 
 
 if __name__ == "__main__":

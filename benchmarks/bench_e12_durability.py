@@ -21,9 +21,9 @@ Raw rates are machine-dependent, so the regression gate
 *invariants* — batching happened, nothing acknowledged was lost,
 round trips are byte-identical — rather than wall-clock numbers.
 Running this file standalone prints a summary and writes
-``BENCH_E12_durability.json`` into ``benchmarks/artifacts/``; the
-committed copy in ``benchmarks/`` is the baseline the gate compares
-against.
+``e12_durability_fresh.json`` into ``benchmarks/artifacts/``; the
+committed ``benchmarks/BENCH_E12_durability.json`` is the baseline the
+gate compares against.
 """
 
 import json
@@ -243,7 +243,7 @@ def write_results(results, path):
 def test_e12_durability(artifacts):
     results = run_benchmarks()
     write_results(results,
-                  os.path.join(artifacts, "BENCH_E12_durability.json"))
+                  os.path.join(artifacts, "e12_durability_fresh.json"))
     failures = check_invariants(results)
     assert not failures, "; ".join(failures)
 
@@ -253,7 +253,7 @@ def main():
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     write_results(results,
                   os.path.join(ARTIFACT_DIR,
-                               "BENCH_E12_durability.json"))
+                               "e12_durability_fresh.json"))
     batched = results["group_commit"]["batched"]
     per_record = results["group_commit"]["per_record"]
     recovery = results["recovery"]
@@ -276,7 +276,7 @@ def main():
     for name, held in sorted(results["invariants"].items()):
         print(f"invariant     {name}: {'ok' if held else 'VIOLATED'}")
     print(f"wrote "
-          f"{os.path.join(ARTIFACT_DIR, 'BENCH_E12_durability.json')}")
+          f"{os.path.join(ARTIFACT_DIR, 'e12_durability_fresh.json')}")
     return 0 if not check_invariants(results) else 1
 
 

@@ -20,9 +20,12 @@ Raw rates and times are machine-dependent, so the regression gate
 (``benchmarks/check_regression.py --only e13``) checks the recorded
 *invariants* — byte-identity, lag drained, clean prefix, epoch
 fencing — rather than wall-clock numbers.  Running this file
-standalone prints a summary and writes ``BENCH_E13_replication.json``
-into ``benchmarks/artifacts/``; the committed copy in ``benchmarks/``
-is the baseline the gate compares against.
+standalone prints a summary and writes a fresh-run artifact
+(``e13_replication_fresh.json``) into ``benchmarks/artifacts/``; the
+committed ``benchmarks/BENCH_E13_replication.json`` is the one
+canonical baseline the gate compares against — the fresh artifact
+deliberately uses a different name so the baseline never exists in two
+places.
 """
 
 import json
@@ -267,7 +270,7 @@ def write_results(results, path):
 def test_e13_replication(artifacts):
     results = run_benchmarks()
     write_results(results,
-                  os.path.join(artifacts, "BENCH_E13_replication.json"))
+                  os.path.join(artifacts, "e13_replication_fresh.json"))
     failures = check_invariants(results)
     assert not failures, "; ".join(failures)
 
@@ -277,7 +280,7 @@ def main():
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     write_results(results,
                   os.path.join(ARTIFACT_DIR,
-                               "BENCH_E13_replication.json"))
+                               "e13_replication_fresh.json"))
     lag = results["lag"]
     failover = results["failover"]
     print(f"lag           {lag['records']} records at "
@@ -291,7 +294,7 @@ def main():
     for name, held in sorted(results["invariants"].items()):
         print(f"invariant     {name}: {'ok' if held else 'VIOLATED'}")
     print(f"wrote "
-          f"{os.path.join(ARTIFACT_DIR, 'BENCH_E13_replication.json')}")
+          f"{os.path.join(ARTIFACT_DIR, 'e13_replication_fresh.json')}")
     return 0 if not check_invariants(results) else 1
 
 

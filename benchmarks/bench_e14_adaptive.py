@@ -1,0 +1,213 @@
+"""Experiment E14 — adaptive optimization: feedback beats syntax.
+
+A skewed-selectivity workload where the syntactic predicate order is
+maximally wrong: the query lists a ~90%-pass predicate first and a
+~1%-pass predicate second, so a static compile filters almost nothing
+with its first (most expensive) chain link.  After one warm-up
+execution the stats store has the observed selectivities, and the
+``adaptive_order`` optimizer pass recompiles the chain
+most-selective-first.
+
+The gated number is the *modelled* (virtual-clock, deterministic)
+median latency ratio of static vs warm-adaptive compiles — like E11's
+modelled speedup it is machine-independent, so the regression gate
+(``benchmarks/check_regression.py --only e14``) can require the full
+ratio rather than an invariant.  Invariants gated alongside it:
+
+- rows byte-identical between the static and adaptive plans (the
+  reorder is an optimization, never a semantics change);
+- the adaptive warm plan actually differs from the static plan (the
+  feedback loop engaged);
+- the stats store round-trips through its CRC-trailed snapshot.
+
+Running this file standalone prints a summary and writes a fresh-run
+artifact into ``benchmarks/artifacts/``; the committed
+``benchmarks/BENCH_E14_adaptive.json`` is the baseline.
+"""
+
+import json
+import os
+import random
+import statistics
+import tempfile
+import time
+
+from repro.mal.printer import format_program
+from repro.server.database import Database
+from repro.stats import StatsStore
+
+ROWS = 40_000
+REPEATS = 5
+#: predicate order in the SQL is deliberately pessimal: ``a < 900``
+#: passes ~90% of rows, ``b = 7`` passes ~1%
+QUERY = "select a, b from t where a < 900 and b = 7"
+REQUIRED_SPEEDUP = 1.5
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_E14_adaptive.json")
+
+
+def _plan_text(program):
+    """The formatted plan with its per-compile name normalized away
+    (each compile gets a fresh ``user.sN_M`` name; plan *shape* is what
+    the invariants compare)."""
+    short = program.name.split(".")[-1]
+    return format_program(program).replace(program.name, "user.q") \
+                                  .replace(short, "q")
+
+
+def _build_database(pipeline_name):
+    """A database holding the skewed table, compiled per-call (no plan
+    cache) so every execution pays — and shows — its compile choices."""
+    db = Database(workers=2, pipeline_name=pipeline_name,
+                  plan_cache_size=0)
+    db.execute("create table t (a int, b int)")
+    rng = random.Random(20260808)
+    table = db.catalog.table("t")
+    table.insert_many(
+        [[rng.randrange(1000), rng.randrange(100)] for _ in range(ROWS)])
+    db.catalog.invalidate()
+    return db
+
+
+def _run_queries(db, repeats=REPEATS):
+    """(median modelled usec, median wall seconds, last outcome)."""
+    modelled = []
+    walls = []
+    outcome = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcome = db.execute(QUERY)
+        walls.append(time.perf_counter() - start)
+        modelled.append(outcome.execution.total_usec)
+    return (statistics.median(modelled), statistics.median(walls),
+            outcome)
+
+
+def _snapshot_roundtrip(store):
+    """Save + load the store; True when the reloaded copy answers the
+    same selectivities (the CRC-trailed snapshot is faithful)."""
+    with tempfile.TemporaryDirectory(prefix="repro-e14-") as workdir:
+        path = os.path.join(workdir, "stats.json")
+        store.save(path)
+        reloaded = StatsStore.load(path)
+        return reloaded.snapshot() == store.snapshot()
+
+
+def run_benchmarks():
+    static_db = _build_database("static_pipe")
+    adaptive_db = _build_database("default_pipe")
+
+    static_usec, static_wall, static_outcome = _run_queries(static_db)
+    static_plan = _plan_text(static_outcome.program)
+
+    # warm-up: the first execution both runs the (still syntactic) plan
+    # and feeds the stats store; the next compile reorders
+    adaptive_db.execute(QUERY)
+    cold_plan = _plan_text(adaptive_db.last_program)
+    warm_usec, warm_wall, warm_outcome = _run_queries(adaptive_db)
+    warm_plan = _plan_text(warm_outcome.program)
+
+    store = adaptive_db.stats_store
+    results = {
+        "workload": {
+            "rows": ROWS,
+            "query": QUERY,
+            "repeats": REPEATS,
+        },
+        "modelled": {
+            "static_usec": static_usec,
+            "warm_adaptive_usec": warm_usec,
+            "speedup": round(static_usec / warm_usec, 3),
+        },
+        "measured": {
+            "static_wall_s": round(static_wall, 6),
+            "warm_adaptive_wall_s": round(warm_wall, 6),
+            "speedup": round(static_wall / warm_wall, 3),
+        },
+        "stats_store": store.summary(),
+        "plans": {
+            "cold_matches_static": cold_plan == static_plan,
+            "warm_differs_from_static": warm_plan != static_plan,
+        },
+        "rows_returned": len(warm_outcome.rows),
+    }
+    results["invariants"] = invariants(
+        results,
+        rows_identical=(static_outcome.rows == warm_outcome.rows),
+        snapshot_ok=_snapshot_roundtrip(store))
+    static_db.close()
+    adaptive_db.close()
+    return results
+
+
+def invariants(results, rows_identical, snapshot_ok):
+    """The machine-independent facts the regression gate enforces."""
+    return {
+        "rows_byte_identical": rows_identical,
+        "cold_plan_matches_static": results["plans"]
+        ["cold_matches_static"],
+        "adaptive_plan_reordered": results["plans"]
+        ["warm_differs_from_static"],
+        "stats_snapshot_roundtrips": snapshot_ok,
+        "modelled_speedup_met": (results["modelled"]["speedup"]
+                                 >= REQUIRED_SPEEDUP),
+    }
+
+
+def check_invariants(results):
+    """Failure strings for every violated invariant (empty = pass)."""
+    return [f"invariant violated: {name}"
+            for name, held in results["invariants"].items() if not held]
+
+
+def write_results(results, path):
+    with open(path, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (rides the benchmarks/ suite)
+# ---------------------------------------------------------------------------
+
+
+def test_e14_adaptive(artifacts):
+    results = run_benchmarks()
+    write_results(results,
+                  os.path.join(artifacts, "e14_adaptive_fresh.json"))
+    failures = check_invariants(results)
+    assert not failures, "; ".join(failures)
+
+
+def main():
+    results = run_benchmarks()
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    write_results(results,
+                  os.path.join(ARTIFACT_DIR, "e14_adaptive_fresh.json"))
+    modelled = results["modelled"]
+    measured = results["measured"]
+    print(f"modelled      static {modelled['static_usec']}us, warm "
+          f"adaptive {modelled['warm_adaptive_usec']}us -> "
+          f"{modelled['speedup']}x")
+    print(f"measured      static {measured['static_wall_s']}s, warm "
+          f"adaptive {measured['warm_adaptive_wall_s']}s -> "
+          f"{measured['speedup']}x")
+    print(f"rows          {results['rows_returned']} returned, "
+          f"byte-identical: "
+          f"{results['invariants']['rows_byte_identical']}")
+    for name, held in sorted(results["invariants"].items()):
+        print(f"{name:32s} {'ok' if held else 'VIOLATED'}")
+    failures = check_invariants(results)
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

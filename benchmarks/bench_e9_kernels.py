@@ -15,7 +15,7 @@ Acceptance targets (ISSUE E9):
 
 The results are the repo's first machine-readable perf baseline:
 running this file standalone (``python benchmarks/bench_e9_kernels.py``)
-prints a summary and writes ``BENCH_E9_kernels.json`` into
+prints a summary and writes ``e9_kernels_fresh.json`` into
 ``benchmarks/artifacts/``; ``benchmarks/check_regression.py`` compares
 a fresh run against the committed ``benchmarks/BENCH_E9_kernels.json``
 and fails on a >25% regression of any kernel.
@@ -192,7 +192,7 @@ def write_results(results, path):
 def test_e9_pipeline_speedup(artifacts):
     results = run_benchmarks()
     write_results(results,
-                  os.path.join(artifacts, "BENCH_E9_kernels.json"))
+                  os.path.join(artifacts, "e9_kernels_fresh.json"))
     pipeline = results["kernels"]["pipeline"]
     assert pipeline["speedup"] >= 3.0, (
         f"pipeline only {pipeline['speedup']}x over naive kernels")
@@ -215,7 +215,7 @@ def main():
     results = run_benchmarks()
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     write_results(results,
-                  os.path.join(ARTIFACT_DIR, "BENCH_E9_kernels.json"))
+                  os.path.join(ARTIFACT_DIR, "e9_kernels_fresh.json"))
     for name, result in sorted(results["kernels"].items()):
         print(f"{name:22s} new={result['new_ms']:9.3f}ms "
               f"naive={result['naive_ms']:9.3f}ms "
@@ -223,7 +223,7 @@ def main():
     cache = results["plan_cache"]
     print(f"{'plan_cache':22s} cold={cache['cold_ms']}ms "
           f"warm={cache['warm_us']}us speedup={cache['speedup']}x")
-    print(f"wrote {os.path.join(ARTIFACT_DIR, 'BENCH_E9_kernels.json')}")
+    print(f"wrote {os.path.join(ARTIFACT_DIR, 'e9_kernels_fresh.json')}")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression gate for the committed E9-E13 baselines.
+"""Perf regression gate for the committed E9-E14 baselines.
 
 E9 (kernels): runs the kernel/plan-cache benchmarks fresh and compares
 every recorded speedup against the committed baseline in
@@ -38,6 +38,15 @@ reads -- against both the fresh run and the committed
 ``benchmarks/BENCH_E13_replication.json``.  Lag and failover times are
 printed but never gated.
 
+E14 (adaptive optimization): runs the skewed-selectivity feedback
+benchmark fresh and gates the deterministic *modelled* warm-adaptive
+speedup (must stay >= 1.5x and within --tolerance of
+``benchmarks/BENCH_E14_adaptive.json``) plus the invariants — rows
+byte-identical between static and adaptive plans, the cold adaptive
+compile matching the static plan exactly, the warm plan actually
+reordered, and the stats-store snapshot round-tripping.  Measured
+wall-clock speedups are printed but never gated.
+
 Usage:
     PYTHONPATH=src python benchmarks/check_regression.py          # check
     PYTHONPATH=src python benchmarks/check_regression.py --write  # rebase
@@ -61,6 +70,7 @@ import bench_e10_connections  # noqa: E402
 import bench_e11_parallel  # noqa: E402
 import bench_e12_durability  # noqa: E402
 import bench_e13_replication  # noqa: E402
+import bench_e14_adaptive  # noqa: E402
 
 
 def check_e9(args) -> int:
@@ -312,6 +322,61 @@ def check_e13(args) -> int:
     return 0
 
 
+def check_e14(args) -> int:
+    fresh = bench_e14_adaptive.run_benchmarks()
+    if args.write:
+        bench_e14_adaptive.write_results(
+            fresh, bench_e14_adaptive.BASELINE_PATH)
+        print("baseline rewritten: "
+              f"{bench_e14_adaptive.BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(bench_e14_adaptive.BASELINE_PATH):
+        print(f"no committed baseline at "
+              f"{bench_e14_adaptive.BASELINE_PATH}; run with "
+              "--write first", file=sys.stderr)
+        return 2
+    with open(bench_e14_adaptive.BASELINE_PATH) as f:
+        baseline = json.load(f)
+
+    failures = list(bench_e14_adaptive.check_invariants(fresh))
+    # the committed baseline must hold every invariant the fresh run
+    # knows about -- a baseline rebased over a violation is itself a bug
+    for name in fresh["invariants"]:
+        if not baseline.get("invariants", {}).get(name, False):
+            failures.append(
+                f"committed baseline violates invariant: {name}")
+    for name, held in sorted(fresh["invariants"].items()):
+        print(f"{name:32s} {'ok' if held else 'VIOLATED'}")
+
+    floor = 1.0 - args.tolerance
+    required = bench_e14_adaptive.REQUIRED_SPEEDUP
+    want = baseline.get("modelled", {}).get("speedup", required)
+    got = fresh["modelled"]["speedup"]
+    status = "ok"
+    if got < required:
+        status = "REGRESSED"
+        failures.append(
+            f"modelled adaptive speedup {got}x < required {required}x")
+    elif got < want * floor:
+        status = "REGRESSED"
+        failures.append(
+            f"modelled adaptive speedup {got}x < {floor:.0%} of "
+            f"baseline {want}x")
+    print(f"{'modelled_speedup':32s} baseline={want:.2f}x "
+          f"fresh={got:.2f}x {status}")
+    print(f"(info) measured wall speedup {fresh['measured']['speedup']}x "
+          f"(not gated); {fresh['rows_returned']} rows returned")
+
+    if failures:
+        print(f"\n{len(failures)} E14 check(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall adaptive-optimization checks hold")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true",
@@ -319,7 +384,7 @@ def main() -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional speedup loss (default .25)")
     parser.add_argument("--only",
-                        choices=["e9", "e10", "e11", "e12", "e13"],
+                        choices=["e9", "e10", "e11", "e12", "e13", "e14"],
                         default=None,
                         help="run a single gate instead of all")
     args = parser.parse_args()
@@ -339,6 +404,9 @@ def main() -> int:
     if args.only in (None, "e13"):
         print()
         status = max(status, check_e13(args))
+    if args.only in (None, "e14"):
+        print()
+        status = max(status, check_e14(args))
     return status
 
 

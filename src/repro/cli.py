@@ -15,6 +15,9 @@ Subcommands mirror how the paper's tools are operated:
 ``datagen``    generate a TPC-H catalog and save it to disk
 ``metrics``    engine metrics in text exposition format (local registry,
                or a running server's via ``--port``)
+``stats``      the adaptive feedback state: runtime statistics store
+               summary, hottest instruction signatures, and per-entry
+               plan-cache diagnostics (live server or on-disk snapshot)
 ``chaos``      seeded fault-injection sweep against an in-process
                server; prints a pass/fail invariant report
 ``checkpoint``  recover a WAL directory, write a fresh checkpoint, and
@@ -62,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="plans shipping fewer partition rows than "
                             "this run in-process even with a pool "
                             "(0 forces the pool)")
+    serve.add_argument("--order-index-min-rows", type=int, default=None,
+                       help="BAT row count above which range selects "
+                            "build the memoized sort-order index "
+                            "(default 512); tunes the process-wide "
+                            "index policy")
     serve.add_argument("--plan-cache-size", type=int, default=64,
                        help="optimized plans kept by the LRU plan cache "
                             "(0 disables plan caching)")
@@ -226,6 +234,20 @@ def _build_parser() -> argparse.ArgumentParser:
                               "this process's registry")
     metrics.add_argument("--host", default="127.0.0.1")
 
+    stats = commands.add_parser(
+        "stats", help="runtime statistics store and plan-cache "
+                      "diagnostics (the adaptive feedback state)"
+    )
+    stats.add_argument("--port", type=int, default=None,
+                       help="ask a running server (stats verb); omit "
+                            "with --snapshot for an offline view")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--snapshot", default=None,
+                       help="read a stats.json snapshot from disk "
+                            "instead of a server")
+    stats.add_argument("--top", type=int, default=10,
+                       help="hottest signature entries to list")
+
     chaos = commands.add_parser(
         "chaos", help="seeded fault-injection sweep (invariant report)"
     )
@@ -282,6 +304,11 @@ def _cmd_serve(args, out) -> int:
     from repro.server import Database, Mserver
     from repro.tpch import populate
 
+    if args.order_index_min_rows is not None:
+        from repro.storage.bat import configure_index_policy
+
+        configure_index_policy(min_rows=args.order_index_min_rows)
+        out.write(f"order-index min rows: {args.order_index_min_rows}\n")
     db_options = dict(workers=args.workers,
                       plan_cache_size=args.plan_cache_size,
                       parallel_workers=args.parallel_workers,
@@ -551,6 +578,65 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _render_stats(payload, out, top: int) -> None:
+    store = payload.get("stats_store") or {}
+    out.write("stats store:\n")
+    for key in ("entries", "query_entries", "capacity", "alpha",
+                "observations", "evictions"):
+        if key in store:
+            out.write(f"  {key}: {store[key]}\n")
+    entries = (payload.get("stats_top") or [])[:top]
+    if entries:
+        out.write("hottest signatures (EWMA usec, selectivity, n):\n")
+        for entry in entries:
+            sel = entry.get("sel")
+            sel_text = "-" if sel is None else f"{sel:.4f}"
+            out.write(f"  {entry['lat']:>10.1f}  {sel_text:>8}  "
+                      f"{entry['n']:>6}  {entry['key']}\n")
+    cache = payload.get("plan_cache") or {}
+    if cache:
+        out.write("plan cache:\n")
+        for key in ("size", "capacity", "hits", "misses", "evictions",
+                    "drift_evictions"):
+            if key in cache:
+                out.write(f"  {key}: {cache[key]}\n")
+    plans = payload.get("plan_entries") or []
+    if plans:
+        out.write("cached plans (hits, age s, recorded/last usec, "
+                  "drift):\n")
+        for plan in plans:
+            recorded = plan.get("recorded_usec")
+            last = plan.get("last_usec")
+            drift = plan.get("drift")
+            out.write(
+                f"  {plan['hits']:>5}  {plan['age_s']:>8.1f}  "
+                f"{'-' if recorded is None else round(recorded)}"
+                f"/{'-' if last is None else round(last)}  "
+                f"{'-' if drift is None else drift}  "
+                f"[{plan['pipeline']} w={plan['workers']}] "
+                f"{plan['sql']}\n")
+
+
+def _cmd_stats(args, out) -> int:
+    if args.snapshot:
+        from repro.stats import StatsStore
+
+        store = StatsStore.load(args.snapshot)
+        _render_stats({"stats_store": store.summary(),
+                       "stats_top": store.top_entries(args.top)},
+                      out, args.top)
+        return 0
+    if args.port is None:
+        out.write("error: pass --port for a live server or --snapshot "
+                  "for an on-disk stats file\n")
+        return 2
+    from repro.server import MClient
+
+    with MClient(host=args.host, port=args.port) as client:
+        _render_stats(client.stats_payload(), out, args.top)
+    return 0
+
+
 def _cmd_chaos(args, out) -> int:
     import tempfile
 
@@ -659,6 +745,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "datagen": _cmd_datagen,
     "metrics": _cmd_metrics,
+    "stats": _cmd_stats,
     "chaos": _cmd_chaos,
     "checkpoint": _cmd_checkpoint,
     "recover": _cmd_recover,

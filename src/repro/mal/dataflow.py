@@ -170,6 +170,7 @@ class SimulatedScheduler:
                 module=instr.module, function=instr.function,
                 start_usec=start, end_usec=end, usec=cost, thread=widx,
                 rss_bytes=ctx.rss_bytes(), rows=_first_bat_rows(outputs),
+                rows_in=_first_bat_rows(inputs),
             ))
             scheduled += 1
             for succ, wanted in pending.items():
@@ -347,6 +348,7 @@ class ThreadedScheduler:
                             end_usec=end, usec=end - start, thread=widx,
                             rss_bytes=ctx.rss_bytes(),
                             rows=_first_bat_rows(outputs),
+                            rows_in=_first_bat_rows(inputs),
                         )
                         runs.append(run)
                         done.add(pc)

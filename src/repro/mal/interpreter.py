@@ -47,7 +47,9 @@ class InstructionRun:
     clock; ``usec`` their difference; ``rss_bytes`` the interpreter's
     simulated resident set after the instruction; ``thread`` the worker
     that ran it (always 0 for the sequential interpreter); ``rows`` the
-    output cardinality when the result is a BAT.
+    output cardinality when the result is a BAT; ``rows_in`` the input
+    cardinality (first BAT argument), which together with ``rows`` gives
+    the stats store an observed selectivity per selection.
     """
 
     pc: int
@@ -60,6 +62,7 @@ class InstructionRun:
     thread: int
     rss_bytes: int
     rows: int
+    rows_in: int = 0
 
 
 #: Listener protocol: called with ("start"|"done", run) around execution.
@@ -359,11 +362,16 @@ class Interpreter:
                 if isinstance(value, BAT):
                     rows = len(value)
                     break
+            rows_in = 0
+            for value in inputs:
+                if isinstance(value, BAT):
+                    rows_in = len(value)
+                    break
             done_run = InstructionRun(
                 pc=instr.pc, stmt=stmt, module=instr.module,
                 function=instr.function, start_usec=start_run.start_usec,
                 end_usec=clock, usec=cost, thread=0,
-                rss_bytes=ctx.rss_bytes(), rows=rows,
+                rss_bytes=ctx.rss_bytes(), rows=rows, rows_in=rows_in,
             )
             runs.append(done_run)
             if self.listener is not None:

@@ -8,6 +8,9 @@ perform").  The passes provided here mirror the well-known MonetDB ones:
 * :class:`ConstantFold`   — evaluate scalar ``calc`` ops over literals;
 * :class:`CommonSubexpression` — deduplicate pure instructions;
 * :class:`DeadCode`       — drop instructions whose results are unused;
+* :class:`AdaptiveOrder`  — reorder commutable select chains
+  most-selective-first using observed runtime statistics (inert until a
+  stats store is injected);
 * :class:`Mitosis`        — partition the largest table horizontally and
   replicate the dependent plan fragment per partition (with ``mat.pack``
   glue), the main source of intra-query parallelism;
@@ -19,7 +22,8 @@ perform").  The passes provided here mirror the well-known MonetDB ones:
 Predefined pipelines match MonetDB's vocabulary: ``minimal_pipe``,
 ``sequential_pipe`` (no parallelism — the configuration under which the
 paper's authors observed their "sequential plan" anomaly) and
-``default_pipe``.
+``default_pipe``; ``static_pipe`` is ``default_pipe`` without the
+adaptive reordering, pinning today's feedback-free plans.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import OptimizerError
 from repro.mal.ast import MalProgram
+from repro.mal.optimizer.adaptive_order import AdaptiveOrder
 from repro.mal.optimizer.constant_fold import ConstantFold
 from repro.mal.optimizer.cse import CommonSubexpression
 from repro.mal.optimizer.deadcode import DeadCode
@@ -96,9 +101,28 @@ def sequential_pipe() -> Pipeline:
 
 
 def default_pipe(nparts: int = 4, mitosis_threshold: int = 1000) -> Pipeline:
-    """The standard pipeline: scalar passes, mitosis and dataflow."""
+    """The standard pipeline: scalar passes, adaptive reordering (inert
+    until a stats store is injected), mitosis and dataflow."""
     return Pipeline(
         "default_pipe",
+        [
+            ConstantFold(),
+            CommonSubexpression(),
+            DeadCode(),
+            AdaptiveOrder(),
+            Mitosis(nparts=nparts, threshold_rows=mitosis_threshold),
+            GarbageCollector(),
+            Dataflow(),
+        ],
+    )
+
+
+def static_pipe(nparts: int = 4, mitosis_threshold: int = 1000) -> Pipeline:
+    """``default_pipe`` minus adaptive reordering: plans keep their
+    syntactic selection order no matter what the stats store has seen.
+    Selecting this pipeline restores the pre-feedback plans exactly."""
+    return Pipeline(
+        "static_pipe",
         [
             ConstantFold(),
             CommonSubexpression(),
@@ -114,6 +138,7 @@ _PIPES: Dict[str, Callable[[], Pipeline]] = {
     "minimal_pipe": minimal_pipe,
     "sequential_pipe": sequential_pipe,
     "default_pipe": default_pipe,
+    "static_pipe": static_pipe,
 }
 
 
@@ -127,6 +152,7 @@ def pipeline_by_name(name: str, **kwargs) -> Pipeline:
 
 
 __all__ = [
+    "AdaptiveOrder",
     "CommonSubexpression",
     "ConstantFold",
     "Dataflow",
@@ -139,4 +165,5 @@ __all__ = [
     "minimal_pipe",
     "pipeline_by_name",
     "sequential_pipe",
+    "static_pipe",
 ]

@@ -134,8 +134,10 @@ PLAN_CACHE_MISSES = REGISTRY.counter(
 
 PLAN_CACHE_EVICTIONS = REGISTRY.counter(
     "repro_plan_cache_evictions_total",
-    "Cached plans dropped, by reason: lru (capacity pressure) or "
-    "invalidate (explicit DDL/DML invalidation clearing the cache).",
+    "Cached plans dropped, by reason: lru (capacity pressure), "
+    "invalidate (explicit DDL/DML invalidation clearing the cache), or "
+    "drift (observed latency drifted >= 2x from the latency recorded "
+    "when the plan was cached).",
     labels=("reason",),
     unit="plans",
 )
@@ -567,4 +569,74 @@ RENDER_QUEUE_WAIT_MS = REGISTRY.histogram(
     "on the queue's clock).",
     unit="ms",
     buckets=(1.0, 10.0, 50.0, 150.0, 500.0, 1_500.0, 5_000.0),
+)
+
+# --------------------------------------------------------------------------
+# repro.stats — the runtime statistics store feeding adaptive optimization
+# --------------------------------------------------------------------------
+
+STATS_OBSERVATIONS = REGISTRY.counter(
+    "repro_stats_observations_total",
+    "Profiler observations folded into the stats store, by kind: "
+    "instruction (per-instruction latency/selectivity) or query "
+    "(whole-query latency per plan variant).",
+    labels=("kind",),
+    unit="observations",
+)
+
+STATS_ENTRIES = REGISTRY.gauge(
+    "repro_stats_entries",
+    "EWMA entries currently held by the stats store (instruction "
+    "signatures plus query variants).",
+    unit="entries",
+)
+
+STATS_EVICTIONS = REGISTRY.counter(
+    "repro_stats_evictions_total",
+    "Stats-store entries dropped under LRU capacity pressure.",
+    unit="entries",
+)
+
+STATS_SNAPSHOTS = REGISTRY.counter(
+    "repro_stats_snapshot_total",
+    "Stats-store snapshot operations, by op (save, load).",
+    labels=("op",),
+    unit="snapshots",
+)
+
+# --------------------------------------------------------------------------
+# adaptive optimization — reordering, index management, deadline planning
+# --------------------------------------------------------------------------
+
+ADAPTIVE_REORDERS = REGISTRY.counter(
+    "repro_adaptive_reorders_total",
+    "Select chains considered by the adaptive_order pass, by outcome: "
+    "reordered (links permuted most-selective-first), kept (observed "
+    "order already optimal), or unknown (no stats for any link).",
+    labels=("outcome",),
+    unit="chains",
+)
+
+ADAPTIVE_INDEX_BUILDS = REGISTRY.counter(
+    "repro_adaptive_index_builds_total",
+    "Order indexes built by the adaptive policy, by trigger: eager "
+    "(access mix favors the index before the size threshold) or "
+    "threshold (classic min-rows heuristic on first touch).",
+    labels=("trigger",),
+    unit="indexes",
+)
+
+ADAPTIVE_INDEX_DROPS = REGISTRY.counter(
+    "repro_adaptive_index_drops_total",
+    "Order indexes dropped because their hit-rate fell below the "
+    "policy floor over a decision window.",
+    unit="indexes",
+)
+
+ADAPTIVE_DEADLINE_REROUTES = REGISTRY.counter(
+    "repro_adaptive_deadline_reroutes_total",
+    "Deadline-carrying queries compiled against a cheaper plan variant "
+    "because the default pipeline's predicted latency exceeded the "
+    "deadline.",
+    unit="queries",
 )

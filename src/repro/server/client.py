@@ -436,6 +436,14 @@ class MClient:
         ``docs/metrics_reference.md`` for the families."""
         return self._call({"op": "stats"})["metrics"]
 
+    def stats_payload(self) -> Dict[str, Any]:
+        """The full ``stats`` verb response: ``metrics`` plus the
+        adaptive feedback state — ``stats_store`` / ``stats_top``
+        (runtime statistics store summary and hottest signatures),
+        ``plan_cache`` counters and per-entry ``plan_entries``
+        diagnostics (hits, age, recorded cost, observed drift)."""
+        return self._call({"op": "stats"})
+
     def query(self, sql: str,
               deadline_s: Optional[float] = None,
               server_deadline_s: Optional[float] = None,

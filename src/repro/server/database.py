@@ -11,7 +11,9 @@ Stethoscope to pick up.
 from __future__ import annotations
 
 import datetime
+import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -24,9 +26,10 @@ from repro.errors import (
     WalError,
 )
 from repro.metrics.families import (
-    PLAN_CACHE_EVICTIONS, PLAN_CACHE_HITS, PLAN_CACHE_MISSES,
-    PLAN_CACHE_SIZE,
+    ADAPTIVE_DEADLINE_REROUTES, PLAN_CACHE_EVICTIONS, PLAN_CACHE_HITS,
+    PLAN_CACHE_MISSES, PLAN_CACHE_SIZE,
 )
+from repro.stats import StatsStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.lifecycle import QueryContext
@@ -34,7 +37,9 @@ from repro.mal.ast import MalProgram
 from repro.mal.dataflow import SimulatedScheduler, ThreadedScheduler
 from repro.mal.interpreter import ExecutionResult, Interpreter, RunListener
 from repro.mal.mpool import DEFAULT_MIN_ROWS, PartitionWorkerPool
-from repro.mal.optimizer import Mitosis, Pipeline, pipeline_by_name
+from repro.mal.optimizer import (
+    AdaptiveOrder, Mitosis, Pipeline, pipeline_by_name,
+)
 from repro.mal.printer import format_program
 from repro.sqlfe.ast import CreateTable, DropTable, Insert, Literal, Select, UnaryOp
 from repro.sqlfe.compiler import SqlCompiler
@@ -79,6 +84,28 @@ def normalize_sql(sql: str) -> str:
     return text
 
 
+#: Latency drift factor that evicts a cached plan: an entry observed
+#: running at >= 2x (or <= 1/2x) the latency recorded when it was
+#: cached no longer describes the data it was optimized for.
+PLAN_DRIFT_FACTOR = 2.0
+
+
+class _PlanEntry:
+    """One cached plan plus the observations drift detection needs."""
+
+    __slots__ = ("program", "recorded_usec", "last_usec", "hits",
+                 "created_monotonic")
+
+    def __init__(self, program: MalProgram) -> None:
+        self.program = program
+        #: latency of the first post-caching execution — the cost the
+        #: plan was effectively "recorded at"; None until observed
+        self.recorded_usec: Optional[float] = None
+        self.last_usec: Optional[float] = None
+        self.hits = 0
+        self.created_monotonic = time.monotonic()
+
+
 class PlanCache:
     """A thread-safe LRU cache of optimized MAL plans.
 
@@ -91,6 +118,13 @@ class PlanCache:
     :meth:`clear` so invalidated plans free their memory immediately
     instead of waiting for LRU pressure.
 
+    Each entry remembers the latency of its first post-caching
+    execution; :meth:`observe` compares later executions against it and
+    evicts the plan when the observed latency drifts by
+    :data:`PLAN_DRIFT_FACTOR` in either direction — the in-place data
+    skew it was optimized for no longer holds, so the next execution
+    recompiles against fresh statistics.
+
     A ``capacity`` of 0 disables caching entirely (every ``get`` is a
     silent miss and ``put`` is a no-op) — useful for benchmarking cold
     compiles and for workloads of one-off statements.
@@ -100,11 +134,12 @@ class PlanCache:
         if capacity < 0:
             raise ValueError("plan cache capacity must be >= 0")
         self.capacity = capacity
-        self._entries: "OrderedDict[tuple, MalProgram]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, _PlanEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.drift_evictions = 0
 
     @property
     def enabled(self) -> bool:
@@ -119,28 +154,58 @@ class PlanCache:
         if not self.capacity:
             return None
         with self._lock:
-            program = self._entries.get(key)
-            if program is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.misses += 1
                 PLAN_CACHE_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            entry.hits += 1
             PLAN_CACHE_HITS.inc()
-            return program
+            return entry.program
 
     def put(self, key: tuple, program: MalProgram) -> None:
         """Insert ``key`` → ``program``, evicting the LRU entry if full."""
         if not self.capacity:
             return
         with self._lock:
-            self._entries[key] = program
+            self._entries[key] = _PlanEntry(program)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 PLAN_CACHE_EVICTIONS.labels(reason="lru").inc()
             PLAN_CACHE_SIZE.set(len(self._entries))
+
+    def observe(self, key: tuple, usec: float) -> bool:
+        """Fold one observed execution latency into ``key``'s entry.
+
+        The first observation after caching records the plan's baseline
+        cost; each later one is compared against it.  Returns True when
+        the entry was evicted for drift (the caller's next execution of
+        this statement will recompile).
+        """
+        if not self.capacity:
+            return False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry.last_usec = usec
+            if entry.recorded_usec is None:
+                entry.recorded_usec = usec
+                return False
+            recorded = entry.recorded_usec
+            if usec >= recorded * PLAN_DRIFT_FACTOR or \
+                    usec * PLAN_DRIFT_FACTOR <= recorded:
+                del self._entries[key]
+                self.evictions += 1
+                self.drift_evictions += 1
+                PLAN_CACHE_EVICTIONS.labels(reason="drift").inc()
+                PLAN_CACHE_SIZE.set(len(self._entries))
+                return True
+            return False
 
     def clear(self) -> int:
         """Drop every entry (explicit DDL/DML invalidation); returns count."""
@@ -162,7 +227,31 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "drift_evictions": self.drift_evictions,
             }
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Per-entry diagnostics for the ``stats`` verb: what is cached,
+        how hot it is, and how far its cost has moved since caching."""
+        now = time.monotonic()
+        with self._lock:
+            out = []
+            for key, entry in self._entries.items():
+                nsql, pipeline, workers = key[0], key[1], key[2]
+                drift = None
+                if entry.recorded_usec and entry.last_usec is not None:
+                    drift = round(entry.last_usec / entry.recorded_usec, 4)
+                out.append({
+                    "sql": nsql,
+                    "pipeline": pipeline,
+                    "workers": workers,
+                    "hits": entry.hits,
+                    "age_s": round(now - entry.created_monotonic, 3),
+                    "recorded_usec": entry.recorded_usec,
+                    "last_usec": entry.last_usec,
+                    "drift": drift,
+                })
+            return out
 
 
 @dataclass
@@ -209,7 +298,14 @@ class Database:
         checkpoint_interval: write a checkpoint (and truncate the WAL)
             every this many logged statements; 0 disables automatic
             checkpoints (:meth:`checkpoint` still works).
+        stats_store: runtime statistics store feeding the adaptive
+            optimizer; a fresh one when omitted.  Durable databases
+            persist it as ``<wal_dir>/stats.json`` on close and reload
+            it on open (a missing or corrupt snapshot just starts the
+            feedback loop cold).
     """
+
+    STATS_FILENAME = "stats.json"
 
     def __init__(self, catalog: Optional[Catalog] = None, workers: int = 4,
                  pipeline_name: str = "default_pipe",
@@ -220,7 +316,8 @@ class Database:
                  parallel_min_rows: int = DEFAULT_MIN_ROWS,
                  wal_dir: Optional[str] = None,
                  commit_window_ms: float = 2.0,
-                 checkpoint_interval: int = 0) -> None:
+                 checkpoint_interval: int = 0,
+                 stats_store: Optional[StatsStore] = None) -> None:
         #: the durable engine (WAL + checkpoints), or None when opened
         #: without a ``wal_dir``.
         self.durability: Optional[DurableEngine] = None
@@ -269,6 +366,20 @@ class Database:
             self.pool = PartitionWorkerPool(
                 workers=parallel_workers,
                 min_rows=parallel_min_rows).start()
+        #: runtime statistics feeding the adaptive optimizer; durable
+        #: databases reload the previous run's snapshot so the feedback
+        #: loop survives restarts
+        self._stats_path: Optional[str] = (
+            os.path.join(wal_dir, self.STATS_FILENAME) if wal_dir else None)
+        if stats_store is not None:
+            self.stats_store = stats_store
+        else:
+            self.stats_store = StatsStore()
+            if self._stats_path and os.path.exists(self._stats_path):
+                try:
+                    self.stats_store = StatsStore.load(self._stats_path)
+                except (StorageError, OSError):
+                    pass  # cold stats beat refusing to open
 
     def close(self) -> None:
         """Release owned resources (worker pool, WAL); idempotent.
@@ -277,6 +388,11 @@ class Database:
         every applied statement even if none were checkpointed."""
         if self.pool is not None:
             self.pool.close()
+        if self._stats_path is not None and len(self.stats_store):
+            try:
+                self.stats_store.save(self._stats_path)
+            except OSError:
+                pass  # stats are advisory; never fail shutdown on them
         if self.durability is not None:
             self.durability.close()
 
@@ -318,14 +434,17 @@ class Database:
                   workers: Optional[int] = None) -> Pipeline:
         name = name or self.pipeline_name
         workers = workers or self.workers
-        if name == "default_pipe":
+        if name in ("default_pipe", "static_pipe"):
             pipeline = pipeline_by_name(
-                "default_pipe", nparts=workers,
+                name, nparts=workers,
                 mitosis_threshold=self.mitosis_threshold,
             )
             for opt_pass in pipeline.passes:
                 if isinstance(opt_pass, Mitosis):
                     opt_pass.catalog = self.catalog
+                elif isinstance(opt_pass, AdaptiveOrder):
+                    opt_pass.stats = self.stats_store
+                    opt_pass.fingerprint = self.catalog.fingerprint()
             return pipeline
         return pipeline_by_name(name)
 
@@ -451,6 +570,20 @@ class Database:
         if head.startswith("trace "):
             return self._execute_traced(stripped[len("trace "):], context,
                                         pipeline_name, workers, scheduler)
+        # Deadline-carrying SELECTs compile against a Maliva-style
+        # cheapest-feasible target: when the stats store has seen this
+        # statement under several pipelines and predicts the default one
+        # will blow the deadline, reroute to the cheapest variant.
+        if head.startswith("select") and context is not None and \
+                getattr(context, "deadline_s", None):
+            chosen, rerouted = self.stats_store.choose_pipeline(
+                normalize_sql(sql), workers or self.workers,
+                self.catalog.fingerprint(),
+                deadline_usec=context.deadline_s * 1_000_000.0,
+                default=pipeline_name or self.pipeline_name)
+            if rerouted:
+                pipeline_name = chosen
+                ADAPTIVE_DEADLINE_REROUTES.inc()
         # Plan-cache fast path: only SELECTs are cached, so a hit means
         # the statement can run without being lexed or parsed at all.
         key = None
@@ -484,6 +617,16 @@ class Database:
         self.last_program = program
         execution = self.run_program(program, listener, context,
                                      workers, scheduler)
+        # Close the feedback loop: fold the completed trace into the
+        # stats store and check the cached plan for cost drift.
+        fingerprint = self.catalog.fingerprint()
+        self.stats_store.observe_program(program, execution.runs,
+                                         fingerprint)
+        self.stats_store.observe_query(
+            normalize_sql(sql), pipeline_name or self.pipeline_name,
+            workers or self.workers, execution.total_usec, fingerprint)
+        if key is not None:
+            self.plan_cache.observe(key, execution.total_usec)
         result_set = execution.first
         return QueryOutcome(
             kind="rows",

@@ -616,8 +616,12 @@ class _ClientSession:
         if op == "quit":
             return {"ok": True, "bye": True}
         if op == "stats":
+            database = self.server.database
             return {"ok": True, "metrics": metrics_snapshot(),
-                    "plan_cache": self.server.database.plan_cache.stats(),
+                    "plan_cache": database.plan_cache.stats(),
+                    "plan_entries": database.plan_cache.entries(),
+                    "stats_store": database.stats_store.summary(),
+                    "stats_top": database.stats_store.top_entries(),
                     "broadcast": self.server.hub.stats()}
         if op == "set":
             return self._handle_set(request)

@@ -1,0 +1,477 @@
+"""Runtime statistics: the feedback store behind adaptive optimization.
+
+Every executed plan leaves a trail of :class:`~repro.mal.interpreter.
+InstructionRun` records — per-instruction wall latency plus input and
+output cardinalities, exactly what the profiler streams to the
+Stethoscope.  :class:`StatsStore` ingests those completed traces and
+keeps EWMA-smoothed summaries keyed by *normalized instruction
+signatures*: a selection is keyed by the column it touches and the
+constants it compares against (``algebra.select(sys.lineitem.l_quantity;
+24)``), not by the variable names of one particular compile, so the same
+logical operator accumulates statistics across compiles, plan-cache
+generations and mitosis partitions.
+
+Three consumers close the loop:
+
+* the ``adaptive_order`` optimizer pass asks :meth:`StatsStore.
+  selectivity` to run commutable select chains most-selective-first;
+* the plan cache compares a cached plan's recorded latency against what
+  :meth:`StatsStore.observe_query` keeps seeing and evicts on >= 2x
+  drift;
+* deadline-carrying queries ask :meth:`StatsStore.choose_pipeline` for
+  the cheapest plan variant predicted to fit (Maliva-style
+  time-constrained planning).
+
+Entries are additionally keyed by the catalog fingerprint, so statistics
+observed against one dataset never steer planning for another.  Memory
+is bounded (LRU over signatures); the whole store round-trips through a
+CRC-trailed JSON snapshot kept alongside the catalog, using the same
+trailer idiom as :mod:`repro.storage.persist`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.mal.ast import Const, MalProgram, Var
+from repro.metrics.families import (
+    STATS_ENTRIES, STATS_EVICTIONS, STATS_OBSERVATIONS, STATS_SNAPSHOTS,
+)
+
+_FORMAT_VERSION = 1
+#: same whole-file checksum trailer the catalog persistence uses
+_CRC_PREFIX = "\n#crc32="
+
+#: instructions whose output/input ratio is an observed selectivity
+_SELECT_FUNCTIONS = frozenset((
+    "algebra.select", "algebra.thetaselect", "algebra.likeselect",
+))
+
+#: def-chain hops the signature resolver follows from a selection's
+#: source back to the ``sql.bind`` naming its column
+_RESOLVE_THROUGH = frozenset((
+    "algebra.leftjoin", "algebra.semijoin", "algebra.kdifference",
+    "bat.mirror", "algebra.markT", "bat.reverse", "algebra.slice",
+))
+
+
+def _format_const(value: Any) -> str:
+    if value is None:
+        return "nil"
+    return repr(value)
+
+
+def program_signatures(program: MalProgram) -> Dict[int, str]:
+    """Normalized signature per pc of ``program``.
+
+    Selection instructions resolve their source variable back through
+    projection/candidate plumbing (leftjoin, semijoin, mirror, slice) to
+    the ``sql.bind`` that names the underlying column; the signature is
+    then ``module.function(schema.table.column;consts)`` — stable across
+    compiles, optimizer pipelines and mitosis partitioning.  Every other
+    instruction is keyed by its qualified name alone, which is enough
+    for per-operator latency profiles.
+    """
+    defs: Dict[str, Any] = {}
+    for instr in program.instructions:
+        for result in instr.results:
+            defs[result] = instr
+
+    def column_of(var_name: str) -> Optional[str]:
+        instr = defs.get(var_name)
+        hops = 0
+        while instr is not None and hops < 16:
+            qname = instr.qualified_name
+            if qname == "sql.bind" and len(instr.args) >= 4:
+                parts = []
+                for arg in instr.args[1:4]:
+                    if not isinstance(arg, Const):
+                        return None
+                    parts.append(str(arg.value))
+                return ".".join(parts)
+            if qname not in _RESOLVE_THROUGH:
+                return None
+            # leftjoin projects the *column* side (arg 1); the candidate
+            # plumbing (semijoin, mirror, markT, ...) follows arg 0
+            position = 1 if qname == "algebra.leftjoin" else 0
+            if position >= len(instr.args):
+                return None
+            source = instr.args[position]
+            if not isinstance(source, Var):
+                return None
+            instr = defs.get(source.name)
+            hops += 1
+        return None
+
+    signatures: Dict[int, str] = {}
+    for instr in program.instructions:
+        qname = instr.qualified_name
+        if qname in _SELECT_FUNCTIONS and instr.args:
+            source = instr.args[0]
+            column = (column_of(source.name)
+                      if isinstance(source, Var) else None)
+            consts = ",".join(
+                _format_const(arg.value) for arg in instr.args[1:]
+                if isinstance(arg, Const)
+            )
+            signatures[instr.pc] = f"{qname}({column or '?'};{consts})"
+        else:
+            signatures[instr.pc] = qname
+    return signatures
+
+
+def select_signature(qname: str, column: str,
+                     const_args: Sequence[Const]) -> str:
+    """The signature :func:`program_signatures` would assign a selection
+    on ``column`` with the given constant arguments (compile-time
+    mirror, used by the ``adaptive_order`` pass for lookups)."""
+    consts = ",".join(_format_const(arg.value) for arg in const_args)
+    return f"{qname}({column};{consts})"
+
+
+class _Entry:
+    """EWMA state for one (fingerprint, signature) key."""
+
+    __slots__ = ("latency_usec", "selectivity", "observations", "rows_in")
+
+    def __init__(self) -> None:
+        self.latency_usec: float = 0.0
+        self.selectivity: Optional[float] = None
+        self.observations: int = 0
+        self.rows_in: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "lat": round(self.latency_usec, 3),
+            "sel": (None if self.selectivity is None
+                    else round(self.selectivity, 9)),
+            "n": self.observations,
+            "rows_in": self.rows_in,
+        }
+
+
+class StatsStore:
+    """Thread-safe, bounded, persistable runtime statistics.
+
+    Args:
+        capacity: maximum signature entries kept (LRU beyond it); the
+            query-variant table is bounded by ``capacity // 4``.
+        alpha: EWMA smoothing factor — weight of the newest observation.
+    """
+
+    def __init__(self, capacity: int = 4096, alpha: float = 0.3) -> None:
+        if capacity < 1:
+            raise ValueError("stats capacity must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.capacity = capacity
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._queries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.observations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fp_key(fingerprint: Tuple) -> str:
+        return ":".join(str(part) for part in fingerprint)
+
+    @classmethod
+    def _entry_key(cls, fingerprint: Tuple, signature: str) -> str:
+        return f"{cls._fp_key(fingerprint)}|{signature}"
+
+    @classmethod
+    def _query_key(cls, fingerprint: Tuple, nsql: str, pipeline: str,
+                   workers: int) -> str:
+        return f"{cls._fp_key(fingerprint)}|{pipeline}|{workers}|{nsql}"
+
+    def _touch(self, table: "OrderedDict[str, _Entry]", key: str,
+               capacity: int) -> _Entry:
+        entry = table.get(key)
+        if entry is None:
+            entry = _Entry()
+            table[key] = entry
+            while len(table) > capacity:
+                table.popitem(last=False)
+                self.evictions += 1
+                STATS_EVICTIONS.inc()
+        else:
+            table.move_to_end(key)
+        return entry
+
+    def _ewma(self, old: Optional[float], new: float) -> float:
+        if old is None:
+            return new
+        return old + self.alpha * (new - old)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def observe_program(self, program: MalProgram, runs: Sequence,
+                        fingerprint: Tuple) -> int:
+        """Ingest one completed execution's instruction-run trace.
+
+        ``runs`` are the :class:`~repro.mal.interpreter.InstructionRun`
+        records an execution produced (what the profiler saw); the
+        latency of every instruction and the observed selectivity of
+        every selection are folded into the EWMA entries.  Returns the
+        number of runs ingested.
+        """
+        signatures = program_signatures(program)
+        ingested = 0
+        with self._lock:
+            for run in runs:
+                signature = signatures.get(run.pc)
+                if signature is None:
+                    continue
+                entry = self._touch(self._entries, self._entry_key(
+                    fingerprint, signature), self.capacity)
+                entry.latency_usec = self._ewma(
+                    entry.latency_usec if entry.observations else None,
+                    float(run.usec))
+                rows_in = getattr(run, "rows_in", 0)
+                if "(" in signature and rows_in > 0:
+                    entry.selectivity = self._ewma(
+                        entry.selectivity, run.rows / float(rows_in))
+                    entry.rows_in = rows_in
+                entry.observations += 1
+                ingested += 1
+            self.observations += ingested
+            STATS_ENTRIES.set(len(self._entries) + len(self._queries))
+        if ingested:
+            STATS_OBSERVATIONS.labels(kind="instruction").inc(ingested)
+        return ingested
+
+    def observe_query(self, nsql: str, pipeline: str, workers: int,
+                      usec: float, fingerprint: Tuple) -> None:
+        """Fold one whole-query latency into its (sql, variant) entry."""
+        with self._lock:
+            entry = self._touch(
+                self._queries,
+                self._query_key(fingerprint, nsql, pipeline, workers),
+                max(1, self.capacity // 4))
+            entry.latency_usec = self._ewma(
+                entry.latency_usec if entry.observations else None,
+                float(usec))
+            entry.observations += 1
+            self.observations += 1
+            STATS_ENTRIES.set(len(self._entries) + len(self._queries))
+        STATS_OBSERVATIONS.labels(kind="query").inc()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def selectivity(self, signature: str,
+                    fingerprint: Tuple) -> Optional[float]:
+        """Observed selectivity of a selection signature, or None."""
+        with self._lock:
+            entry = self._entries.get(
+                self._entry_key(fingerprint, signature))
+            if entry is None:
+                return None
+            return entry.selectivity
+
+    def latency_usec(self, signature: str,
+                     fingerprint: Tuple) -> Optional[float]:
+        """EWMA latency of an instruction signature, or None."""
+        with self._lock:
+            entry = self._entries.get(
+                self._entry_key(fingerprint, signature))
+            if entry is None or not entry.observations:
+                return None
+            return entry.latency_usec
+
+    def query_latency(self, nsql: str, pipeline: str, workers: int,
+                      fingerprint: Tuple) -> Optional[float]:
+        """EWMA latency of one (sql, pipeline, workers) variant."""
+        with self._lock:
+            entry = self._queries.get(
+                self._query_key(fingerprint, nsql, pipeline, workers))
+            if entry is None or not entry.observations:
+                return None
+            return entry.latency_usec
+
+    def query_variants(self, nsql: str, workers: int,
+                       fingerprint: Tuple) -> Dict[str, float]:
+        """Every observed pipeline variant of ``nsql`` with its
+        predicted (EWMA) latency in microseconds."""
+        prefix = self._fp_key(fingerprint) + "|"
+        suffix = f"|{workers}|{nsql}"
+        variants: Dict[str, float] = {}
+        with self._lock:
+            for key, entry in self._queries.items():
+                if not entry.observations:
+                    continue
+                if key.startswith(prefix) and key.endswith(suffix):
+                    pipeline = key[len(prefix):-len(suffix)]
+                    variants[pipeline] = entry.latency_usec
+        return variants
+
+    def choose_pipeline(self, nsql: str, workers: int, fingerprint: Tuple,
+                        deadline_usec: float,
+                        default: str) -> Tuple[str, bool]:
+        """Maliva-style cheapest-feasible variant selection.
+
+        Returns ``(pipeline, rerouted)``.  The default pipeline wins
+        whenever its predicted latency fits the deadline (or was never
+        observed); otherwise the cheapest observed variant is chosen —
+        feasible if any variant fits, cheapest-overall if none does.
+        """
+        variants = self.query_variants(nsql, workers, fingerprint)
+        if not variants:
+            return default, False
+        predicted_default = variants.get(default)
+        if predicted_default is None or predicted_default <= deadline_usec:
+            return default, False
+        cheapest = min(variants, key=variants.get)
+        if cheapest == default:
+            return default, False
+        return cheapest, True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries) + len(self._queries)
+
+    def summary(self) -> Dict[str, Any]:
+        """Counters and occupancy for the ``stats`` verb / CLI view."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "query_entries": len(self._queries),
+                "capacity": self.capacity,
+                "alpha": self.alpha,
+                "observations": self.observations,
+                "evictions": self.evictions,
+            }
+
+    def top_entries(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """The ``limit`` hottest signature entries, by EWMA latency."""
+        with self._lock:
+            ranked = sorted(self._entries.items(),
+                            key=lambda kv: kv[1].latency_usec,
+                            reverse=True)[:limit]
+            return [dict(key=key, **entry.as_dict())
+                    for key, entry in ranked]
+
+    # ------------------------------------------------------------------
+    # persistence (CRC-trailed JSON, alongside the catalog)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole store as one JSON-serializable document."""
+        with self._lock:
+            return {
+                "version": _FORMAT_VERSION,
+                "capacity": self.capacity,
+                "alpha": self.alpha,
+                "observations": self.observations,
+                "entries": {key: entry.as_dict()
+                            for key, entry in self._entries.items()},
+                "queries": {key: entry.as_dict()
+                            for key, entry in self._queries.items()},
+            }
+
+    def save(self, path: str) -> int:
+        """Atomically write the snapshot to ``path``; returns entry count.
+
+        Same discipline as the catalog: temp file in the same directory,
+        fsync, rename — plus the ``#crc32=`` trailer so a torn or
+        bit-rotted snapshot is detected at load instead of half-read.
+        """
+        document = self.snapshot()
+        text = json.dumps(document)
+        text += f"{_CRC_PREFIX}{zlib.crc32(text.encode('utf-8')):08x}\n"
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        STATS_SNAPSHOTS.labels(op="save").inc()
+        return len(document["entries"]) + len(document["queries"])
+
+    @classmethod
+    def load(cls, path: str) -> "StatsStore":
+        """Rebuild a store saved by :meth:`save`.
+
+        Raises:
+            StorageError: checksum mismatch, malformed JSON, or an
+                unsupported format version.
+        """
+        with open(path) as handle:
+            text = handle.read()
+        crc_at = text.rfind(_CRC_PREFIX)
+        if crc_at != -1:
+            body = text[:crc_at]
+            trailer = text[crc_at + len(_CRC_PREFIX):]
+            try:
+                expected = int(trailer.strip(), 16)
+            except ValueError:
+                raise StorageError(
+                    f"corrupt stats snapshot {path!r}: malformed "
+                    f"checksum trailer") from None
+            actual = zlib.crc32(body.encode("utf-8"))
+            if actual != expected:
+                raise StorageError(
+                    f"corrupt stats snapshot {path!r}: checksum "
+                    f"mismatch (expected {expected:08x}, computed "
+                    f"{actual:08x})")
+            text = body
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"corrupt stats snapshot {path!r}: {exc}") from None
+        if not isinstance(document, dict) or \
+                document.get("version") != _FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported stats snapshot version "
+                f"{document.get('version') if isinstance(document, dict) else document!r}")
+        store = cls(capacity=int(document.get("capacity", 4096)),
+                    alpha=float(document.get("alpha", 0.3)))
+        for table_name, table in (("entries", store._entries),
+                                  ("queries", store._queries)):
+            saved = document.get(table_name, {})
+            if not isinstance(saved, dict):
+                raise StorageError(
+                    f"corrupt stats snapshot {path!r}: {table_name} is "
+                    f"not an object")
+            for key, fields in saved.items():
+                if not isinstance(fields, dict):
+                    raise StorageError(
+                        f"corrupt stats snapshot {path!r}: entry "
+                        f"{key!r} is not an object")
+                entry = _Entry()
+                entry.latency_usec = float(fields.get("lat", 0.0))
+                sel = fields.get("sel")
+                entry.selectivity = None if sel is None else float(sel)
+                entry.observations = int(fields.get("n", 0))
+                entry.rows_in = int(fields.get("rows_in", 0))
+                table[key] = entry
+        store.observations = int(document.get("observations", 0))
+        STATS_SNAPSHOTS.labels(op="load").inc()
+        STATS_ENTRIES.set(len(store))
+        return store

@@ -35,7 +35,12 @@ import operator
 import re
 from bisect import bisect_left, bisect_right
 from collections import Counter
+from dataclasses import dataclass
 from itertools import repeat
+
+from repro.metrics.families import (
+    ADAPTIVE_INDEX_BUILDS, ADAPTIVE_INDEX_DROPS,
+)
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError, TypeMismatchError
@@ -126,7 +131,79 @@ def _positions_range(tail: List[Any], low: Any, high: Any,
 
 #: BATs below this row count answer range selects by scanning; above it
 #: they build (and memoize) a sort-order index and answer by bisection.
+#: Default for :class:`IndexPolicy.min_rows`; kept as a module constant
+#: for importers, but the live threshold is the configured policy's.
 ORDER_INDEX_MIN_ROWS = 512
+
+
+@dataclass
+class IndexPolicy:
+    """Tunable heuristics governing the memoized sort-order indexes.
+
+    The static half (``min_rows``, the scan-fallback ratio) used to be
+    hard-wired module constants; the adaptive half closes the feedback
+    loop: BATs below ``min_rows`` whose observed access mix is
+    range-select-heavy get their index built *eagerly*, and an index
+    whose hit-rate over a decision window falls below ``hit_floor`` is
+    dropped (and stays off until the BAT next mutates).
+
+    Attributes:
+        min_rows: classic build-on-first-touch threshold.
+        scan_fallback_num: a bisected run of k rows falls back to the
+            scan kernel when ``k * scan_fallback_num > rows`` — the
+            default 4 is the historical >1/4-selectivity rule; 0
+            disables the fallback entirely.
+        adaptive_min_rows: floor below which eager builds never happen
+            (tiny BATs scan faster than any index pays back).
+        eager_after: range selects observed on a sub-``min_rows`` BAT
+            before its index is built eagerly.
+        hit_floor: minimum fraction of index-answered range selects
+            over a window; below it the index is dropped.
+        window: accesses per hit-rate decision window.
+    """
+
+    min_rows: int = ORDER_INDEX_MIN_ROWS
+    scan_fallback_num: int = 4
+    adaptive_min_rows: int = 128
+    eager_after: int = 4
+    hit_floor: float = 0.1
+    window: int = 32
+
+
+#: The process-wide policy; replaced via :func:`configure_index_policy`
+#: (the ``serve --order-index-min-rows`` flag lands here).
+_INDEX_POLICY = IndexPolicy()
+
+
+def index_policy() -> IndexPolicy:
+    """The index policy currently in force."""
+    return _INDEX_POLICY
+
+
+def configure_index_policy(policy: Optional[IndexPolicy] = None,
+                           **overrides) -> IndexPolicy:
+    """Install (or derive-and-install) the process-wide index policy.
+
+    Pass a full :class:`IndexPolicy`, or keyword overrides applied to
+    the defaults (``configure_index_policy(min_rows=64)``).  Returns the
+    installed policy.  Tests that touch this must restore the previous
+    policy; the engine itself only calls it from CLI startup.
+    """
+    global _INDEX_POLICY
+    if policy is None:
+        policy = IndexPolicy(**overrides)
+    elif overrides:
+        raise ValueError("pass a policy or overrides, not both")
+    if policy.min_rows < 1 or policy.adaptive_min_rows < 1:
+        raise ValueError("index policy thresholds must be >= 1")
+    if policy.scan_fallback_num < 0:
+        raise ValueError("scan_fallback_num must be >= 0")
+    if not 0.0 <= policy.hit_floor <= 1.0:
+        raise ValueError("hit_floor must be in [0, 1]")
+    if policy.window < 1 or policy.eager_after < 1:
+        raise ValueError("window and eager_after must be >= 1")
+    _INDEX_POLICY = policy
+    return policy
 
 
 class BAT:
@@ -146,7 +223,8 @@ class BAT:
 
     __slots__ = ("tail_type", "tail", "head", "hseqbase", "_bytes_cache",
                  "_index_cache", "_multimap_cache", "_order_cache",
-                 "_ship_cache")
+                 "_ship_cache", "_range_selects", "_order_hits",
+                 "_order_misses", "_order_disabled")
 
     def __init__(
         self,
@@ -166,6 +244,13 @@ class BAT:
         self._multimap_cache: Optional[Tuple[int, dict]] = None
         self._order_cache: Optional[Tuple[int, List[int], List[Any]]] = None
         self._ship_cache: Optional[Tuple[int, bytes]] = None
+        # adaptive index accounting: range selects seen, order-index
+        # hits/misses in the current decision window, and whether the
+        # policy has disabled the index until the next mutation
+        self._range_selects = 0
+        self._order_hits = 0
+        self._order_misses = 0
+        self._order_disabled = False
         if self.head is not None and len(self.head) != len(self.tail):
             raise StorageError(
                 f"head/tail length mismatch: {len(self.head)} vs {len(self.tail)}"
@@ -249,6 +334,12 @@ class BAT:
         self._multimap_cache = None
         self._order_cache = None
         self._ship_cache = None
+        # a mutation resets the adaptive accounting: the data changed,
+        # so a dropped index gets a fresh chance to prove itself
+        self._range_selects = 0
+        self._order_hits = 0
+        self._order_misses = 0
+        self._order_disabled = False
 
     def bytes(self) -> int:
         """Approximate memory footprint, for rss accounting in traces.
@@ -380,14 +471,28 @@ class BAT:
         by value, the values in that order).
 
         Built lazily on the first range selection against a BAT of at
-        least :data:`ORDER_INDEX_MIN_ROWS` rows; smaller BATs (and BATs
-        whose tails refuse ordered comparison) answer by scanning.
+        least ``policy.min_rows`` rows — or *eagerly* on smaller BATs
+        (down to ``policy.adaptive_min_rows``) once the observed access
+        mix shows ``policy.eager_after`` range selects.  BATs whose
+        tails refuse ordered comparison, and BATs whose index the
+        policy dropped for a poor hit-rate, answer by scanning.
         Invalidated like every memoized structure by append/extend.
         """
-        if len(self.tail) < ORDER_INDEX_MIN_ROWS:
+        if self._order_disabled:
             return None
+        policy = _INDEX_POLICY
+        rows = len(self.tail)
+        if rows < policy.min_rows:
+            if rows < policy.adaptive_min_rows:
+                return None
+            if self._order_cache is None and \
+                    self._range_selects < policy.eager_after:
+                return None
+            trigger = "eager"
+        else:
+            trigger = "threshold"
         cached = self._order_cache
-        if cached is not None and cached[0] == len(self.tail):
+        if cached is not None and cached[0] == rows:
             return cached[1], cached[2]
         tail = self.tail
         positions = ([i for i, v in enumerate(tail) if v is not None]
@@ -397,8 +502,27 @@ class BAT:
         except TypeError:
             return None
         values = [tail[i] for i in positions]
-        self._order_cache = (len(tail), positions, values)
+        self._order_cache = (rows, positions, values)
+        ADAPTIVE_INDEX_BUILDS.labels(trigger=trigger).inc()
         return positions, values
+
+    def _order_outcome(self, hit: bool) -> None:
+        """Fold one index consult into the hit-rate window; drop the
+        index when a full window stays below the policy floor."""
+        if hit:
+            self._order_hits += 1
+        else:
+            self._order_misses += 1
+        policy = _INDEX_POLICY
+        decided = self._order_hits + self._order_misses
+        if decided < policy.window:
+            return
+        if self._order_hits < policy.hit_floor * decided:
+            self._order_cache = None
+            self._order_disabled = True
+            ADAPTIVE_INDEX_DROPS.inc()
+        self._order_hits = 0
+        self._order_misses = 0
 
     def _select_by_order(self, low: Any, high: Any, include_low: bool,
                          include_high: bool) -> Optional["BAT"]:
@@ -408,6 +532,7 @@ class BAT:
         it and re-sorting the (always int) positions reproduces the scan
         kernel's output exactly.  Returns None when no index applies.
         """
+        self._range_selects += 1
         index = self._tail_order()
         if index is None:
             return None
@@ -425,10 +550,15 @@ class BAT:
         else:
             last = bisect_left(values, high)
         if last <= first:
+            self._order_outcome(hit=True)
             return self._take([])
-        if (last - first) * 4 > len(self.tail):
+        if _INDEX_POLICY.scan_fallback_num and \
+                (last - first) * _INDEX_POLICY.scan_fallback_num > \
+                len(self.tail):
             # wide runs: re-sorting k positions costs more than one scan
+            self._order_outcome(hit=False)
             return None
+        self._order_outcome(hit=True)
         return self._take(sorted(order[first:last]))
 
     # ------------------------------------------------------------------

@@ -76,7 +76,7 @@ class TestDocstringCoverage:
             )
 
     def test_docs_directory_complete(self):
-        for name in ("architecture.md", "durability.md",
+        for name in ("adaptive.md", "architecture.md", "durability.md",
                      "mal_reference.md", "trace_format.md",
                      "metrics_reference.md", "operations.md",
                      "streaming.md"):

@@ -358,6 +358,61 @@ def parallel_env():
     parallel.close()
 
 
+@pytest.fixture(scope="module")
+def adaptive_env():
+    """Shared catalog, three databases: a ``static_pipe`` oracle, an
+    adaptive database (plan cache off so warm executions recompile
+    against the stats the cold run fed back), and an adaptive database
+    executing on a 2-process partition worker pool."""
+    import repro.tpch as tpch
+    from repro.server.database import Database
+
+    catalog = Catalog()
+    tpch.populate(catalog, scale_factor=0.05, seed=7)
+    static = Database(catalog=catalog, workers=4, mitosis_threshold=50,
+                      pipeline_name="static_pipe")
+    adaptive = Database(catalog=catalog, workers=4, mitosis_threshold=50,
+                        pipeline_name="default_pipe", plan_cache_size=0)
+    pooled = Database(catalog=catalog, workers=4, mitosis_threshold=50,
+                      pipeline_name="default_pipe", plan_cache_size=0,
+                      parallel_workers=2, parallel_min_rows=0)
+    yield static, adaptive, pooled
+    pooled.close()
+    adaptive.close()
+    static.close()
+
+
+def _trace_shape(execution):
+    """The execution's trace shape: the multiset of executed kernels
+    (order-insensitive — adaptive reordering permutes a select chain
+    but never changes which kernels run)."""
+    return sorted(f"{run.module}.{run.function}"
+                  for run in execution.runs)
+
+
+class TestAdaptiveOrderProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_random_queries_agree_adaptive_on_vs_off(self, adaptive_env,
+                                                     seed):
+        """For any generated query, cold and warm adaptive compiles —
+        serial and on the 2-worker pool — return byte-identical rows
+        and the same trace event shape as the static pipeline."""
+        import random
+
+        from repro.workloads import random_query
+
+        static, adaptive, pooled = adaptive_env
+        sql = random_query(random.Random(seed))
+        expected = static.execute(sql)
+        shape = _trace_shape(expected.execution)
+        for db in (adaptive, pooled):
+            for _warmth in ("cold", "warm"):
+                outcome = db.execute(sql)
+                assert outcome.rows == expected.rows
+                assert _trace_shape(outcome.execution) == shape
+
+
 class TestParallelProperties:
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 2**32 - 1))
